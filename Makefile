@@ -1,0 +1,34 @@
+# Development entry points. Everything is stdlib Go; no tools beyond the
+# toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus ablations; see DESIGN.md.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the paper's evaluation on the dataset simulators.
+experiments:
+	$(GO) run ./cmd/lan-bench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cheminformatics
+	$(GO) run ./examples/codeclone
+	$(GO) run ./examples/scalability
+
+clean:
+	$(GO) clean ./...

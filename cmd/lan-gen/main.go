@@ -1,0 +1,80 @@
+// Command lan-gen materializes one of the synthetic benchmark datasets
+// (Table I simulators) and an accompanying query workload to disk in the
+// line-oriented graph text format.
+//
+// Usage:
+//
+//	lan-gen -dataset aids -scale 0.02 -out aids.txt -queries 200 -queries-out aids-queries.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lan-gen: ")
+	var (
+		name       = flag.String("dataset", "aids", "dataset to simulate: aids, linux, pubchem, syn")
+		scale      = flag.Float64("scale", 0.01, "fraction of the paper's dataset size")
+		out        = flag.String("out", "", "output file for the database (default stdout)")
+		queries    = flag.Int("queries", 0, "also emit this many workload queries")
+		queriesOut = flag.String("queries-out", "", "output file for the query workload")
+		seed       = flag.Int64("seed", 1, "workload sampling seed")
+	)
+	flag.Parse()
+
+	spec, err := specByName(*name, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := spec.Generate()
+	if err := writeDB(*out, db); err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	fmt.Fprintf(os.Stderr, "generated %s: %d graphs, avg |V| %.1f, avg |E| %.1f, %d labels\n",
+		spec.Name, st.Graphs, st.AvgNodes, st.AvgEdges, st.NumLabels)
+
+	if *queries > 0 {
+		qs := dataset.Workload(db, spec, *queries, *seed)
+		if err := writeDB(*queriesOut, graph.Database(qs)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "generated %d workload queries\n", len(qs))
+	}
+}
+
+func specByName(name string, scale float64) (dataset.Spec, error) {
+	switch name {
+	case "aids":
+		return dataset.AIDS(scale), nil
+	case "linux":
+		return dataset.LINUX(scale), nil
+	case "pubchem":
+		return dataset.PubChem(scale), nil
+	case "syn":
+		return dataset.SYN(scale), nil
+	default:
+		return dataset.Spec{}, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func writeDB(path string, db graph.Database) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return graph.WriteText(w, db)
+}

@@ -1,0 +1,95 @@
+// Command lan-search answers k-ANN queries against a trained LAN index.
+//
+// Usage:
+//
+//	lan-search -db aids.txt -index aids.lan -queries test-queries.txt -k 10 -beam 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/lanio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lan-search: ")
+	var (
+		dbPath  = flag.String("db", "", "database file")
+		idxPath = flag.String("index", "", "trained index snapshot from lan-train")
+		qPath   = flag.String("queries", "", "query file")
+		k       = flag.Int("k", 10, "neighbors per query")
+		beam    = flag.Int("beam", 0, "candidate pool size (default k)")
+		routing = flag.String("routing", "lan", "routing: lan, baseline, oracle")
+		initial = flag.String("initial", "lan", "initial node: lan, hnsw, rand")
+	)
+	flag.Parse()
+	if *dbPath == "" || *idxPath == "" || *qPath == "" {
+		log.Fatal("need -db, -index and -queries")
+	}
+
+	db, err := lanio.ReadDatabase(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(*idxPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := lan.Load(db, f, lan.Options{})
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := lanio.ReadQueries(*qPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	so := lan.SearchOptions{K: *k, Beam: *beam}
+	switch *routing {
+	case "lan":
+		so.Routing = lan.LANRoute
+	case "baseline":
+		so.Routing = lan.BaselineRoute
+	case "oracle":
+		so.Routing = lan.OracleRoute
+	default:
+		log.Fatalf("unknown -routing %q", *routing)
+	}
+	switch *initial {
+	case "lan":
+		so.Initial = lan.LANIS
+	case "hnsw":
+		so.Initial = lan.HNSWIS
+	case "rand":
+		so.Initial = lan.RandIS
+	default:
+		log.Fatalf("unknown -initial %q", *initial)
+	}
+
+	var totalNDC int
+	start := time.Now()
+	for qi, q := range queries {
+		res, stats, err := idx.Search(q, so)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalNDC += stats.NDC
+		fmt.Printf("query %d (n=%d, m=%d): ", qi, q.N(), q.M())
+		for _, r := range res {
+			fmt.Printf("%d:%.0f ", r.ID, r.Dist)
+		}
+		fmt.Printf("[ndc=%d %s]\n", stats.NDC, stats.Total.Round(time.Microsecond))
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "%d queries in %s (%.2f QPS, avg NDC %.1f)\n",
+		len(queries), elapsed.Round(time.Millisecond),
+		float64(len(queries))/elapsed.Seconds(),
+		float64(totalNDC)/float64(len(queries)))
+}

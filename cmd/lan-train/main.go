@@ -1,0 +1,71 @@
+// Command lan-train builds and trains a LAN index over a graph database
+// file and writes the trained index snapshot to disk.
+//
+// Usage:
+//
+//	lan-train -db aids.txt -queries aids-queries.txt -out aids.lan -dim 16 -epochs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/lanio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lan-train: ")
+	var (
+		dbPath  = flag.String("db", "", "database file (graph text format)")
+		qPath   = flag.String("queries", "", "training query workload file")
+		outPath = flag.String("out", "index.lan", "output index snapshot")
+		dim     = flag.Int("dim", 16, "embedding dimension")
+		m       = flag.Int("m", 8, "proximity graph degree parameter")
+		epochs  = flag.Int("epochs", 10, "training epochs")
+		gamma   = flag.Int("gamma-knn", 20, "gamma* covers this many NNs for 90% of training queries")
+		seed    = flag.Int64("seed", 1, "build seed")
+	)
+	flag.Parse()
+	if *dbPath == "" || *qPath == "" {
+		log.Fatal("need -db and -queries")
+	}
+
+	db, err := lanio.ReadDatabase(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queriesDB, err := lanio.ReadDatabase(*qPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := make([]*graph.Graph, len(queriesDB))
+	for i, q := range queriesDB {
+		q.ID = -1
+		queries[i] = q
+	}
+
+	start := time.Now()
+	idx, err := lanio.BuildIndex(db, queries, lanio.BuildParams{
+		Dim: *dim, M: *m, Epochs: *epochs, GammaKNN: *gamma, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "built index over %d graphs in %s (gamma* = %.0f)\n",
+		idx.Len(), time.Since(start).Round(time.Millisecond), idx.GammaStar())
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := idx.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+}

@@ -1,0 +1,85 @@
+// Code-clone detection: the paper's software-engineering motivation.
+//
+// The control flow of a code fragment is a labeled graph; plagiarized or
+// cloned code produces control-flow graphs (CFGs) within a small edit
+// distance of the original even after renaming and light restructuring.
+// This example indexes a corpus of CFGs, then checks suspect fragments
+// against it: a nearest neighbor within a small GED flags a likely clone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+)
+
+// cloneThreshold is the GED under which a match is reported as a clone.
+// Distances come from the ensemble protocol below (exact when feasible,
+// else the best of three approximations), so a handful of edits stays a
+// handful of GED units even on regular chain-shaped CFGs where single
+// bipartite bounds are loose.
+const cloneThreshold = 8
+
+func main() {
+	log.SetFlags(0)
+
+	// A corpus of control-flow graphs: block-level opcodes as labels,
+	// chains with branches and loops, in families (the same function
+	// compiled/edited over versions).
+	gen := graph.NewGenerator(99)
+	ops := []string{"entry", "assign", "call", "branch", "loop", "ret", "throw", "cmp"}
+	var corpus []*graph.Graph
+	for fn := 0; fn < 25; fn++ {
+		original := gen.CFGLike(12+fn%14, ops, 0.25)
+		corpus = append(corpus, original)
+		for version := 1; version < 7; version++ {
+			corpus = append(corpus, gen.Mutate(original, 1+version%3, ops))
+		}
+	}
+	db := graph.NewDatabase(corpus)
+	fmt.Printf("CFG corpus: %d functions, avg %.1f basic blocks\n", len(db), db.Stats().AvgNodes)
+
+	var history []*graph.Graph
+	for i := 0; i < 30; i++ {
+		history = append(history, gen.Mutate(db[(i*13)%len(db)], i%3, ops))
+	}
+	metric := ged.Ensemble{ExactBudget: 150, BeamWidth: 4}
+	index, err := lan.Build(db, history, lan.Options{
+		Dim: 12, Epochs: 5, GammaKNN: 8, Seed: 5,
+		QueryMetric: metric,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Suspect fragments: one disguised clone (renamed + one edit), one
+	// heavier rewrite, one genuinely original function.
+	suspects := map[string]*graph.Graph{
+		"lightly disguised clone": gen.Mutate(db[88], 2, ops),
+		"heavy rewrite":           gen.Mutate(db[120], 6, ops),
+		"original work":           gen.CFGLike(18, ops, 0.25),
+	}
+
+	for name, cfg := range suspects {
+		matches, stats, err := index.Search(cfg, lan.SearchOptions{K: 3, Beam: 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsuspect %q (%d blocks, %d GED computations):\n", name, cfg.N(), stats.NDC)
+		flagged := false
+		for _, m := range matches {
+			verdict := "distinct"
+			if m.Dist <= cloneThreshold {
+				verdict = "LIKELY CLONE"
+				flagged = true
+			}
+			fmt.Printf("  function %3d at GED %.0f  [%s]\n", m.ID, m.Dist, verdict)
+		}
+		if !flagged {
+			fmt.Printf("  -> no clone found within GED %d\n", cloneThreshold)
+		}
+	}
+}

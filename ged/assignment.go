@@ -1,0 +1,230 @@
+package ged
+
+import "math"
+
+// infCost marks an infeasible assignment cell.
+const infCost = 1e9
+
+// solveHungarian solves the square min-cost assignment problem with the
+// O(n^3) potentials formulation of the Hungarian algorithm (Kuhn–Munkres).
+// cost must be square; the result maps each row to its assigned column.
+func solveHungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	// 1-indexed potentials formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j]: row matched to column j (0 = none)
+	way := make([]int, n+1) // way[j]: previous column on the alternating path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}
+
+// solveJV solves the square min-cost assignment problem with the
+// Jonker–Volgenant algorithm: column reduction, augmenting row reduction,
+// then shortest augmenting paths for the remaining free rows.
+func solveJV(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	rowsol := make([]int, n) // rowsol[i]: column assigned to row i
+	colsol := make([]int, n) // colsol[j]: row assigned to column j
+	v := make([]float64, n)  // column potentials
+	for i := range rowsol {
+		rowsol[i] = -1
+		colsol[i] = -1
+	}
+
+	// Column reduction: assign each column to its minimal row when free.
+	for j := n - 1; j >= 0; j-- {
+		imin := 0
+		for i := 1; i < n; i++ {
+			if cost[i][j] < cost[imin][j] {
+				imin = i
+			}
+		}
+		v[j] = cost[imin][j]
+		if rowsol[imin] == -1 {
+			rowsol[imin] = j
+			colsol[j] = imin
+		}
+	}
+
+	// Augmenting row reduction (two passes) for unassigned rows, following
+	// the original LAP formulation: take the best column, adjusting its
+	// potential by the gap to the second-best; a bumped row is retried
+	// immediately when the potential strictly decreased, otherwise it is
+	// deferred to the next pass.
+	free := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if rowsol[i] == -1 {
+			free = append(free, i)
+		}
+	}
+	// retryBudget caps the immediate-retry ping-pong, which can fail to
+	// make progress under floating-point ties; rows beyond the budget are
+	// deferred to the exact augmentation phase below, which is correct for
+	// any dual-feasible warm start.
+	retryBudget := 20*n + 100
+	for pass := 0; pass < 2; pass++ {
+		k := 0
+		prevLen := len(free)
+		next := make([]int, 0, prevLen)
+		for k < prevLen {
+			i := free[k]
+			k++
+			// Two smallest reduced costs in row i.
+			j1, j2 := -1, -1
+			u1, u2 := math.Inf(1), math.Inf(1)
+			for j := 0; j < n; j++ {
+				r := cost[i][j] - v[j]
+				if r < u1 {
+					u2, j2 = u1, j1
+					u1, j1 = r, j
+				} else if r < u2 {
+					u2, j2 = r, j
+				}
+			}
+			i0 := colsol[j1]
+			if u1 < u2 {
+				v[j1] -= u2 - u1
+			} else if i0 >= 0 && j2 >= 0 {
+				j1 = j2
+				i0 = colsol[j1]
+			}
+			rowsol[i] = j1
+			colsol[j1] = i
+			if i0 >= 0 {
+				rowsol[i0] = -1
+				if u1 < u2 && retryBudget > 0 {
+					// Strict potential decrease: retry the bumped row now.
+					retryBudget--
+					k--
+					free[k] = i0
+				} else {
+					next = append(next, i0)
+				}
+			}
+		}
+		free = next
+	}
+
+	// Shortest augmenting path for each remaining free row (Dijkstra on
+	// reduced costs).
+	for _, f := range free {
+		d := make([]float64, n)
+		pred := make([]int, n)
+		done := make([]bool, n)
+		for j := 0; j < n; j++ {
+			d[j] = cost[f][j] - v[j]
+			pred[j] = f
+		}
+		endj := -1
+		var mu float64
+		for {
+			// Pick the unscanned column with minimal d.
+			jmin := -1
+			for j := 0; j < n; j++ {
+				if !done[j] && (jmin == -1 || d[j] < d[jmin]) {
+					jmin = j
+				}
+			}
+			done[jmin] = true
+			mu = d[jmin]
+			if colsol[jmin] == -1 {
+				endj = jmin
+				break
+			}
+			// Relax through the row currently owning jmin.
+			i := colsol[jmin]
+			for j := 0; j < n; j++ {
+				if done[j] {
+					continue
+				}
+				if nd := mu + cost[i][j] - v[j] - (cost[i][jmin] - v[jmin]); nd < d[j] {
+					d[j] = nd
+					pred[j] = i
+				}
+			}
+		}
+		// Update potentials for scanned columns.
+		for j := 0; j < n; j++ {
+			if done[j] {
+				v[j] += d[j] - mu
+			}
+		}
+		// Augment along the path.
+		for {
+			i := pred[endj]
+			colsol[endj] = i
+			endj, rowsol[i] = rowsol[i], endj
+			if i == f {
+				break
+			}
+		}
+	}
+	return rowsol
+}
+
+// assignmentCost sums the matrix cost of an assignment (for tests).
+func assignmentCost(cost [][]float64, assign []int) float64 {
+	total := 0.0
+	for i, j := range assign {
+		total += cost[i][j]
+	}
+	return total
+}

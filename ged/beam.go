@@ -1,0 +1,50 @@
+package ged
+
+import (
+	"sort"
+
+	"github.com/lansearch/lan/graph"
+)
+
+// beamSearch computes an upper bound of GED via beam search over the same
+// state space as A*: at each depth only the w most promising partial
+// mappings (by cost + admissible heuristic) are kept. This is the "Beam"
+// algorithm of Neuhaus, Riesen and Bunke used in the paper's ground-truth
+// protocol. Width w <= 0 defaults to 8.
+func beamSearch(g, h *graph.Graph, w int) float64 {
+	if w <= 0 {
+		w = 8
+	}
+	if g.N() > h.N() {
+		g, h = h, g
+	}
+	c := newSearchCtx(g, h)
+	frontier := []*state{c.initial()}
+	if g.N() == 0 {
+		return frontier[0].cost
+	}
+	for depth := 0; depth < g.N(); depth++ {
+		u := c.order[depth]
+		var next []*state
+		for _, s := range frontier {
+			for x := 0; x < h.N(); x++ {
+				if !isUsed(s.used, x) {
+					next = append(next, c.child(s, u, x))
+				}
+			}
+			next = append(next, c.child(s, u, unmapped))
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].f < next[j].f })
+		if len(next) > w {
+			next = next[:w]
+		}
+		frontier = next
+	}
+	best := frontier[0].cost
+	for _, s := range frontier[1:] {
+		if s.cost < best {
+			best = s.cost
+		}
+	}
+	return best
+}

@@ -1,0 +1,252 @@
+package ged
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lansearch/lan/graph"
+)
+
+// EditOp is one edit operation of an edit path. Node ids refer to the
+// source graph G as the path executes: operations are emitted in an order
+// that is valid to apply sequentially (edge deletions, node deletions,
+// relabelings, node insertions, edge insertions), and inserted nodes
+// receive the next free ids of the evolving graph.
+type EditOp struct {
+	Kind EditKind
+	// U, V are node ids; V is used by edge operations only.
+	U, V int
+	// Label is the new label for relabelings and insertions.
+	Label string
+}
+
+// EditKind enumerates the five GED edit operations (Sec. III-A).
+type EditKind int
+
+// The five edit operations.
+const (
+	// DeleteEdge removes edge {U, V}.
+	DeleteEdge EditKind = iota
+	// DeleteNode removes node U (which must be isolated by then).
+	DeleteNode
+	// Relabel sets node U's label to Label.
+	Relabel
+	// InsertNode appends a node with Label (its id is U).
+	InsertNode
+	// InsertEdge adds edge {U, V}.
+	InsertEdge
+)
+
+// String implements fmt.Stringer.
+func (k EditKind) String() string {
+	switch k {
+	case DeleteEdge:
+		return "delete-edge"
+	case DeleteNode:
+		return "delete-node"
+	case Relabel:
+		return "relabel"
+	case InsertNode:
+		return "insert-node"
+	case InsertEdge:
+		return "insert-edge"
+	default:
+		return fmt.Sprintf("EditKind(%d)", int(k))
+	}
+}
+
+// EditPath derives an explicit edit script from a node mapping phi (as
+// returned by ExactMapping): applying the script to g yields a graph
+// isomorphic to h, and its length equals MappingCost(g, h, phi) — so with
+// an optimal mapping it is a minimum edit script. The script is returned
+// in apply order.
+func EditPath(g, h *graph.Graph, phi []int) []EditOp {
+	if len(phi) != g.N() {
+		panic(fmt.Sprintf("ged: EditPath: mapping of length %d for %d nodes", len(phi), g.N()))
+	}
+	var ops []EditOp
+
+	// 1. Delete g edges that do not survive the mapping.
+	for _, e := range g.Edges() {
+		a, b := phi[e[0]], phi[e[1]]
+		if a == unmapped || b == unmapped || !h.HasEdge(a, b) {
+			ops = append(ops, EditOp{Kind: DeleteEdge, U: e[0], V: e[1]})
+		}
+	}
+
+	// 2. Delete unmapped g nodes (descending id so ids of remaining
+	// deletions stay valid under swap-with-last renumbering schemes; we
+	// use stable compaction semantics below instead, so descending order
+	// just keeps the script readable).
+	var deletions []int
+	for u, w := range phi {
+		if w == unmapped {
+			deletions = append(deletions, u)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deletions)))
+	for _, u := range deletions {
+		ops = append(ops, EditOp{Kind: DeleteNode, U: u})
+	}
+
+	// Track the id each surviving g node has after compaction (deleting
+	// node u shifts every id > u down by one).
+	shifted := make([]int, g.N())
+	for u := range shifted {
+		shifted[u] = u
+		for _, d := range deletions {
+			if u == d {
+				shifted[u] = -1
+				break
+			}
+			if u > d {
+				shifted[u]--
+			}
+		}
+	}
+
+	// 3. Relabel surviving nodes whose labels differ from their images.
+	for u, w := range phi {
+		if w != unmapped && g.Label(u) != h.Label(w) {
+			ops = append(ops, EditOp{Kind: Relabel, U: shifted[u], Label: h.Label(w)})
+		}
+	}
+
+	// 4. Insert h nodes that are not images; their new ids continue after
+	// the survivors.
+	used := make([]bool, h.N())
+	for _, w := range phi {
+		if w != unmapped {
+			used[w] = true
+		}
+	}
+	survivors := g.N() - len(deletions)
+	newID := make([]int, h.N()) // id of h node w in the evolving graph
+	for u, w := range phi {
+		if w != unmapped {
+			newID[w] = shifted[u]
+		}
+	}
+	next := survivors
+	for w := 0; w < h.N(); w++ {
+		if !used[w] {
+			newID[w] = next
+			ops = append(ops, EditOp{Kind: InsertNode, U: next, Label: h.Label(w)})
+			next++
+		}
+	}
+
+	// 5. Insert h edges that are not images of surviving g edges.
+	for _, e := range h.Edges() {
+		covered := false
+		if used[e[0]] && used[e[1]] {
+			// The edge survives iff its preimages were adjacent in g.
+			var pu, pv int = -1, -1
+			for u, w := range phi {
+				if w == e[0] {
+					pu = u
+				}
+				if w == e[1] {
+					pv = u
+				}
+			}
+			covered = pu >= 0 && pv >= 0 && g.HasEdge(pu, pv)
+		}
+		if !covered {
+			ops = append(ops, EditOp{Kind: InsertEdge, U: newID[e[0]], V: newID[e[1]]})
+		}
+	}
+	return ops
+}
+
+// Apply executes an edit script on a copy of g and returns the result.
+// It errors if the script is invalid for the graph (unknown nodes,
+// duplicate edges, deleting a non-isolated node).
+func Apply(g *graph.Graph, ops []EditOp) (*graph.Graph, error) {
+	type edge struct{ u, v int }
+	labels := g.Labels()
+	edges := make(map[edge]bool)
+	for _, e := range g.Edges() {
+		edges[edge{e[0], e[1]}] = true
+	}
+	hasEdge := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return edges[edge{u, v}]
+	}
+	setEdge := func(u, v int, present bool) {
+		if u > v {
+			u, v = v, u
+		}
+		if present {
+			edges[edge{u, v}] = true
+		} else {
+			delete(edges, edge{u, v})
+		}
+	}
+
+	for i, op := range ops {
+		switch op.Kind {
+		case DeleteEdge:
+			if !hasEdge(op.U, op.V) {
+				return nil, fmt.Errorf("ged: op %d: edge {%d,%d} absent", i, op.U, op.V)
+			}
+			setEdge(op.U, op.V, false)
+		case DeleteNode:
+			if op.U < 0 || op.U >= len(labels) {
+				return nil, fmt.Errorf("ged: op %d: node %d out of range", i, op.U)
+			}
+			for e := range edges {
+				if e.u == op.U || e.v == op.U {
+					return nil, fmt.Errorf("ged: op %d: node %d not isolated", i, op.U)
+				}
+			}
+			// Compact: shift ids above op.U down by one.
+			labels = append(labels[:op.U], labels[op.U+1:]...)
+			shifted := make(map[edge]bool, len(edges))
+			for e := range edges {
+				u, v := e.u, e.v
+				if u > op.U {
+					u--
+				}
+				if v > op.U {
+					v--
+				}
+				shifted[edge{u, v}] = true
+			}
+			edges = shifted
+		case Relabel:
+			if op.U < 0 || op.U >= len(labels) {
+				return nil, fmt.Errorf("ged: op %d: node %d out of range", i, op.U)
+			}
+			labels[op.U] = op.Label
+		case InsertNode:
+			if op.U != len(labels) {
+				return nil, fmt.Errorf("ged: op %d: insert id %d; want %d", i, op.U, len(labels))
+			}
+			labels = append(labels, op.Label)
+		case InsertEdge:
+			if op.U < 0 || op.U >= len(labels) || op.V < 0 || op.V >= len(labels) || op.U == op.V {
+				return nil, fmt.Errorf("ged: op %d: bad edge {%d,%d}", i, op.U, op.V)
+			}
+			if hasEdge(op.U, op.V) {
+				return nil, fmt.Errorf("ged: op %d: edge {%d,%d} already present", i, op.U, op.V)
+			}
+			setEdge(op.U, op.V, true)
+		default:
+			return nil, fmt.Errorf("ged: op %d: unknown kind %v", i, op.Kind)
+		}
+	}
+
+	out := graph.New(-1)
+	for _, l := range labels {
+		out.AddNode(l)
+	}
+	for e := range edges {
+		if err := out.AddEdge(e.u, e.v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

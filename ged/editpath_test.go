@@ -1,0 +1,112 @@
+package ged
+
+import (
+	"testing"
+
+	"github.com/lansearch/lan/graph"
+)
+
+func TestEditPathRoundTripRandomPairs(t *testing.T) {
+	gen := graph.NewGenerator(51)
+	labels := []string{"A", "B", "C"}
+	for trial := 0; trial < 25; trial++ {
+		g := gen.RandomConnected(2+trial%4, 6, labels, 0.3)
+		h := gen.RandomConnected(2+(trial+2)%5, 7, labels, 0.3)
+		phi, d, ok := ExactMapping(g, h, 0)
+		if !ok {
+			t.Fatalf("trial %d: exact search failed", trial)
+		}
+		ops := EditPath(g, h, phi)
+		// The script's length is exactly the edit cost of the mapping —
+		// with an optimal mapping, a minimum edit script.
+		if float64(len(ops)) != d {
+			t.Fatalf("trial %d: %d ops for GED %v\nops: %v", trial, len(ops), d, ops)
+		}
+		got, err := Apply(g, ops)
+		if err != nil {
+			t.Fatalf("trial %d: Apply: %v\nops: %v", trial, err, ops)
+		}
+		if graph.Hash(got, 3) != graph.Hash(h, 3) {
+			t.Fatalf("trial %d: edit path does not reach h", trial)
+		}
+	}
+}
+
+func TestEditPathIdentity(t *testing.T) {
+	g := path("A", "B", "C")
+	phi, _, _ := ExactMapping(g, g, 0)
+	if ops := EditPath(g, g, phi); len(ops) != 0 {
+		t.Fatalf("identity edit path = %v", ops)
+	}
+}
+
+func TestEditPathWithMutations(t *testing.T) {
+	gen := graph.NewGenerator(52)
+	labels := []string{"A", "B", "C", "D"}
+	base := gen.MoleculeLike(7, 1, labels, 0.3)
+	for k := 1; k <= 3; k++ {
+		m := gen.Mutate(base, k, labels)
+		if m.N() > 9 {
+			continue
+		}
+		phi, d, ok := ExactMapping(base, m, 0)
+		if !ok {
+			t.Fatal("exact failed")
+		}
+		ops := EditPath(base, m, phi)
+		if float64(len(ops)) != d {
+			t.Fatalf("k=%d: %d ops for GED %v", k, len(ops), d)
+		}
+		got, err := Apply(base, ops)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if graph.Hash(got, 3) != graph.Hash(m, 3) {
+			t.Fatalf("k=%d: wrong target", k)
+		}
+	}
+}
+
+func TestApplyRejectsInvalidScripts(t *testing.T) {
+	g := path("A", "B")
+	cases := []struct {
+		name string
+		ops  []EditOp
+	}{
+		{"absent edge", []EditOp{{Kind: DeleteEdge, U: 0, V: 0}}},
+		{"non-isolated delete", []EditOp{{Kind: DeleteNode, U: 0}}},
+		{"bad relabel target", []EditOp{{Kind: Relabel, U: 9, Label: "X"}}},
+		{"bad insert id", []EditOp{{Kind: InsertNode, U: 7, Label: "X"}}},
+		{"duplicate edge", []EditOp{{Kind: InsertEdge, U: 0, V: 1}}},
+		{"self-loop", []EditOp{{Kind: InsertEdge, U: 0, V: 0}}},
+		{"unknown kind", []EditOp{{Kind: EditKind(99)}}},
+	}
+	for _, c := range cases {
+		if _, err := Apply(g, c.ops); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestEditKindString(t *testing.T) {
+	for k, want := range map[EditKind]string{
+		DeleteEdge: "delete-edge",
+		DeleteNode: "delete-node",
+		Relabel:    "relabel",
+		InsertNode: "insert-node",
+		InsertEdge: "insert-edge",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestEditPathPanicsOnBadMapping(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	EditPath(path("A", "B"), path("A"), []int{0})
+}

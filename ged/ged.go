@@ -1,0 +1,200 @@
+// Package ged computes graph edit distance (GED) between labeled undirected
+// graphs, exactly and approximately. It provides:
+//
+//   - Exact GED via A* search with admissible label/edge lower bounds and a
+//     configurable expansion budget (Sec. III-A of the LAN paper).
+//   - Beam-search GED (the "Beam" heuristic of Neuhaus, Riesen, Bunke).
+//   - Bipartite upper bounds via assignment: the Riesen–Bunke cost model
+//     solved with the Hungarian algorithm ("Hung") and a plain label-cost
+//     model solved with Jonker–Volgenant ("VJ").
+//   - An Ensemble following the paper's ground-truth protocol (exact within
+//     a budget, else best-of-three approximations).
+//   - A counting wrapper used by the routing layer to account for the
+//     number of distance computations (NDC).
+//
+// All functions in this package use unit edit costs: node insertion,
+// node deletion, edge insertion, edge deletion and node relabeling each
+// cost 1, matching the paper's GED definition.
+package ged
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/lansearch/lan/graph"
+)
+
+// Metric computes a distance between two labeled graphs. Implementations
+// must be safe for concurrent use.
+type Metric interface {
+	Distance(g, h *graph.Graph) float64
+}
+
+// MetricFunc adapts a function to the Metric interface.
+type MetricFunc func(g, h *graph.Graph) float64
+
+// Distance implements Metric.
+func (f MetricFunc) Distance(g, h *graph.Graph) float64 { return f(g, h) }
+
+// Exact returns the exact GED of g and h, or ok=false if the A* search
+// exceeded maxExpansions node expansions (pass 0 for no budget). When
+// ok=false the returned value is a valid upper bound obtained from the best
+// complete mapping seen (falling back to a bipartite bound).
+func Exact(g, h *graph.Graph, maxExpansions int) (d float64, ok bool) {
+	d, _, ok = astarWithMapping(g, h, maxExpansions)
+	return d, ok
+}
+
+// Unmapped marks a node of g that an alignment deletes (maps to no node
+// of h).
+const Unmapped = unmapped
+
+// ExactMapping returns an optimal node alignment alongside the exact GED:
+// phi[u] is the node of h that u maps to, or Unmapped for a deletion;
+// nodes of h that are not images are insertions. ok=false mirrors Exact's
+// budget semantics, in which case phi is nil.
+func ExactMapping(g, h *graph.Graph, maxExpansions int) (phi []int, d float64, ok bool) {
+	d, phi, ok = astarWithMapping(g, h, maxExpansions)
+	if !ok {
+		return nil, d, false
+	}
+	return phi, d, true
+}
+
+// LowerBound returns an admissible lower bound of the exact GED from the
+// node-label multisets and edge counts — cheap enough for filtering
+// pipelines (LowerBound(g,h) > tau certifies d(g,h) > tau).
+func LowerBound(g, h *graph.Graph) float64 {
+	return labelLowerBound(g, h)
+}
+
+// MappingCost returns the edit cost induced by an explicit node mapping
+// phi (phi[u] in [0,h.N()) or Unmapped). It is an upper bound of the
+// exact GED for any injective mapping and equals it for an optimal one.
+// MappingCost panics if phi maps two nodes of g to the same node of h.
+func MappingCost(g, h *graph.Graph, phi []int) float64 {
+	seen := make(map[int]bool, len(phi))
+	for _, w := range phi {
+		if w == unmapped {
+			continue
+		}
+		if seen[w] {
+			panic("ged: MappingCost: mapping not injective")
+		}
+		seen[w] = true
+	}
+	return mappingCost(g, h, phi)
+}
+
+// Beam returns the beam-search GED of g and h with beam width w (an upper
+// bound of the exact GED).
+func Beam(g, h *graph.Graph, w int) float64 {
+	return beamSearch(g, h, w)
+}
+
+// Hungarian returns the Riesen–Bunke bipartite upper bound: node assignment
+// costs include each node's incident-edge neighborhood, solved by the
+// Hungarian algorithm; the returned value is the edit cost induced by the
+// resulting node mapping.
+func Hungarian(g, h *graph.Graph) float64 {
+	m := riesenBunkeCosts(g, h)
+	assign := solveHungarian(m)
+	return mappingCost(g, h, extractMapping(assign, g.N(), h.N()))
+}
+
+// VJ returns a bipartite upper bound using plain label substitution costs
+// solved with the Jonker–Volgenant algorithm (the "VJ" baseline of the
+// paper's ground-truth protocol).
+func VJ(g, h *graph.Graph) float64 {
+	m := labelCosts(g, h)
+	assign := solveJV(m)
+	return mappingCost(g, h, extractMapping(assign, g.N(), h.N()))
+}
+
+// Ensemble is the ground-truth distance protocol of the paper (Sec. VII):
+// exact GED when the A* search finishes within ExactBudget expansions,
+// otherwise the minimum of the VJ, Hungarian and Beam upper bounds.
+type Ensemble struct {
+	// ExactBudget is the A* expansion budget before falling back to the
+	// approximations. Zero means "never attempt exact".
+	ExactBudget int
+	// BeamWidth is the width used by the Beam fallback (default 16).
+	BeamWidth int
+}
+
+// Distance implements Metric.
+func (e Ensemble) Distance(g, h *graph.Graph) float64 {
+	if e.ExactBudget > 0 {
+		if d, ok := Exact(g, h, e.ExactBudget); ok {
+			return d
+		}
+	}
+	w := e.BeamWidth
+	if w <= 0 {
+		w = 16
+	}
+	d := VJ(g, h)
+	if d2 := Hungarian(g, h); d2 < d {
+		d = d2
+	}
+	if d3 := Beam(g, h, w); d3 < d {
+		d = d3
+	}
+	return d
+}
+
+// Counter wraps a Metric and counts calls; the routing layer uses it to
+// report NDC. It optionally memoizes by (g.ID, h.ID) pairs when both ids
+// are non-negative; cache hits do not increment the counter because a
+// cached distance costs no GED computation.
+type Counter struct {
+	Metric Metric
+
+	calls atomic.Int64
+
+	mu    sync.Mutex
+	cache map[[2]int]float64
+}
+
+// NewCounter returns a counting, memoizing wrapper around m.
+func NewCounter(m Metric) *Counter {
+	return &Counter{Metric: m, cache: make(map[[2]int]float64)}
+}
+
+// Distance implements Metric, counting and caching the computation.
+func (c *Counter) Distance(g, h *graph.Graph) float64 {
+	var key [2]int
+	cacheable := g.ID >= 0 && h.ID >= 0
+	if cacheable {
+		key = [2]int{g.ID, h.ID}
+		if g.ID > h.ID {
+			key = [2]int{h.ID, g.ID}
+		}
+		c.mu.Lock()
+		if d, ok := c.cache[key]; ok {
+			c.mu.Unlock()
+			return d
+		}
+		c.mu.Unlock()
+	}
+	d := c.Metric.Distance(g, h)
+	c.calls.Add(1)
+	if cacheable {
+		c.mu.Lock()
+		c.cache[key] = d
+		c.mu.Unlock()
+	}
+	return d
+}
+
+// Calls returns the number of distance computations performed (cache hits
+// excluded).
+func (c *Counter) Calls() int64 { return c.calls.Load() }
+
+// Reset zeroes the call counter and clears the memo cache.
+func (c *Counter) Reset() {
+	c.calls.Store(0)
+	c.mu.Lock()
+	c.cache = make(map[[2]int]float64)
+	c.mu.Unlock()
+}

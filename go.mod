@@ -1,0 +1,3 @@
+module github.com/lansearch/lan
+
+go 1.22

@@ -1,0 +1,59 @@
+package graph_test
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/lansearch/lan/graph"
+)
+
+func ExampleGraph() {
+	g := graph.New(-1)
+	c := g.AddNode("C")
+	n := g.AddNode("N")
+	o := g.AddNode("O")
+	g.MustAddEdge(c, n)
+	g.MustAddEdge(n, o)
+	fmt.Println(g.N(), g.M(), g.Label(n), g.Neighbors(n))
+	// Output: 3 2 N [0 2]
+}
+
+func ExampleWL() {
+	// A path A-B-A: the endpoints stay indistinguishable at every WL
+	// iteration; the center is separated from iteration 0 on.
+	g := graph.New(-1)
+	g.AddNode("A")
+	g.AddNode("B")
+	g.AddNode("A")
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+
+	wl := graph.WL(g, 2)
+	fmt.Println(wl.Classes)
+	fmt.Println(wl.Labels[2][0] == wl.Labels[2][2])
+	// Output:
+	// [2 2 2]
+	// true
+}
+
+func ExampleGenerator_Mutate() {
+	gen := graph.NewGenerator(7)
+	base := gen.MoleculeLike(10, 1, []string{"C", "N", "O"}, 0.3)
+	variant := gen.Mutate(base, 2, []string{"C", "N", "O"})
+	// Two edit operations: the variant stays close in size.
+	fmt.Println(base.N() == variant.N() || base.N() == variant.N()+1 || base.N()+1 == variant.N())
+	// Output: true
+}
+
+func ExampleWriteText() {
+	g := graph.New(0)
+	g.AddNode("A")
+	g.AddNode("B")
+	g.MustAddEdge(0, 1)
+	graph.WriteText(os.Stdout, graph.Database{g})
+	// Output:
+	// t # 0
+	// v 0 A
+	// v 1 B
+	// e 0 1
+}

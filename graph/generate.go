@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator produces random labeled graphs. It is deterministic given its
+// seed, which lets datasets, workloads and experiments be reproduced.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a Generator seeded with seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// pickLabel draws a label index using a geometric-ish skew so that a few
+// labels dominate (as in molecule datasets, where C/N/O dominate).
+func (gen *Generator) pickLabel(labels []string, skew float64) string {
+	if len(labels) == 1 {
+		return labels[0]
+	}
+	if skew <= 0 {
+		return labels[gen.rng.Intn(len(labels))]
+	}
+	// Weight label i by (1-skew)^i; sample by inverse CDF.
+	x := gen.rng.Float64()
+	w := 1.0
+	total := 0.0
+	weights := make([]float64, len(labels))
+	for i := range labels {
+		weights[i] = w
+		total += w
+		w *= 1 - skew
+	}
+	x *= total
+	for i, wi := range weights {
+		x -= wi
+		if x <= 0 {
+			return labels[i]
+		}
+	}
+	return labels[len(labels)-1]
+}
+
+// RandomConnected generates a connected graph with n nodes and
+// approximately m edges (at least n-1), labels drawn from labels with the
+// given skew in [0,1).
+func (gen *Generator) RandomConnected(n, m int, labels []string, skew float64) *Graph {
+	if n <= 0 {
+		return New(-1)
+	}
+	g := New(-1)
+	for i := 0; i < n; i++ {
+		g.AddNode(gen.pickLabel(labels, skew))
+	}
+	// Random spanning tree: attach node i to a random previous node.
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, gen.rng.Intn(i))
+	}
+	// Extra edges up to m.
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for g.M() < m {
+		u := gen.rng.Intn(n)
+		v := gen.rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// MoleculeLike generates a connected sparse graph shaped like a small
+// organic molecule: a tree backbone plus a few ring-closing edges. n is the
+// node count; rings is the number of extra cycle edges.
+func (gen *Generator) MoleculeLike(n, rings int, labels []string, skew float64) *Graph {
+	g := New(-1)
+	for i := 0; i < n; i++ {
+		g.AddNode(gen.pickLabel(labels, skew))
+	}
+	// Backbone: preferential chain — mostly a path with short branches,
+	// like molecule skeletons.
+	for i := 1; i < n; i++ {
+		parent := i - 1
+		if i > 2 && gen.rng.Float64() < 0.3 {
+			parent = i - 1 - gen.rng.Intn(min(i-1, 3)) - 0
+			if parent < 0 {
+				parent = 0
+			}
+		}
+		g.MustAddEdge(i, parent)
+	}
+	// Ring closures between nearby nodes (5-7 apart), as in aromatic rings.
+	for r := 0; r < rings && n > 6; r++ {
+		for tries := 0; tries < 16; tries++ {
+			u := gen.rng.Intn(n - 5)
+			span := 4 + gen.rng.Intn(3)
+			v := u + span
+			if v < n && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+				break
+			}
+		}
+	}
+	return g
+}
+
+// CFGLike generates a control-flow-graph-like structure: a chain of basic
+// blocks with forward branches (if/else diamonds) and back edges (loops).
+func (gen *Generator) CFGLike(n int, labels []string, skew float64) *Graph {
+	g := New(-1)
+	for i := 0; i < n; i++ {
+		g.AddNode(gen.pickLabel(labels, skew))
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, i-1)
+	}
+	// Forward branch edges (skip 2-4 blocks) and back edges (loops).
+	branches := n / 4
+	for b := 0; b < branches; b++ {
+		u := gen.rng.Intn(n)
+		d := 2 + gen.rng.Intn(3)
+		v := u + d
+		if gen.rng.Float64() < 0.3 { // back edge
+			v = u - d
+		}
+		if v >= 0 && v < n && u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// EditOp identifies one of the five GED edit operation kinds.
+type EditOp int
+
+// The five edit operations of Sec. III-A.
+const (
+	OpNodeInsert EditOp = iota
+	OpNodeDelete
+	OpEdgeInsert
+	OpEdgeDelete
+	OpRelabel
+)
+
+// String implements fmt.Stringer.
+func (op EditOp) String() string {
+	switch op {
+	case OpNodeInsert:
+		return "node-insert"
+	case OpNodeDelete:
+		return "node-delete"
+	case OpEdgeInsert:
+		return "edge-insert"
+	case OpEdgeDelete:
+		return "edge-delete"
+	case OpRelabel:
+		return "relabel"
+	default:
+		return fmt.Sprintf("EditOp(%d)", int(op))
+	}
+}
+
+// Mutate returns a copy of g with ops random edit operations applied. Each
+// applied operation is a single GED edit, so d(g, result) <= ops. The
+// result is kept connected and non-empty; labels for inserts/relabels are
+// drawn from labels.
+func (gen *Generator) Mutate(g *Graph, ops int, labels []string) *Graph {
+	c := g.Clone()
+	c.ID = -1
+	for i := 0; i < ops; i++ {
+		gen.mutateOnce(c, labels)
+	}
+	return c
+}
+
+func (gen *Generator) mutateOnce(g *Graph, labels []string) {
+	for tries := 0; tries < 32; tries++ {
+		switch EditOp(gen.rng.Intn(5)) {
+		case OpNodeInsert:
+			// Insert a leaf attached to a random node (node insert; its
+			// edge counts as a separate edit in GED but attaching keeps
+			// the graph connected — callers treat ops as approximate).
+			u := g.AddNode(gen.pickLabel(labels, 0))
+			if g.N() > 1 {
+				g.MustAddEdge(u, gen.rng.Intn(g.N()-1))
+			}
+			return
+		case OpNodeDelete:
+			if g.N() <= 2 {
+				continue
+			}
+			u := gen.rng.Intn(g.N())
+			if g.Degree(u) != 1 { // only delete leaves to preserve connectivity
+				continue
+			}
+			removeLeaf(g, u)
+			return
+		case OpEdgeInsert:
+			if g.N() < 2 {
+				continue
+			}
+			u := gen.rng.Intn(g.N())
+			v := gen.rng.Intn(g.N())
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+				return
+			}
+		case OpEdgeDelete:
+			if g.M() == 0 {
+				continue
+			}
+			es := g.Edges()
+			e := es[gen.rng.Intn(len(es))]
+			// Only delete cycle edges to preserve connectivity.
+			if g.Degree(e[0]) > 1 && g.Degree(e[1]) > 1 && inCycle(g, e[0], e[1]) {
+				removeEdge(g, e[0], e[1])
+				return
+			}
+		case OpRelabel:
+			if g.N() == 0 || len(labels) < 2 {
+				continue
+			}
+			u := gen.rng.Intn(g.N())
+			nl := labels[gen.rng.Intn(len(labels))]
+			if nl != g.Label(u) {
+				g.SetLabel(u, nl)
+				return
+			}
+		}
+	}
+}
+
+// removeLeaf removes degree-1 node u from g, renumbering the last node into
+// its slot.
+func removeLeaf(g *Graph, u int) {
+	if g.Degree(u) == 1 {
+		removeEdge(g, u, g.adj[u][0])
+	}
+	last := g.N() - 1
+	if u != last {
+		// Move node `last` into slot u.
+		g.labels[u] = g.labels[last]
+		neighbors := append([]int(nil), g.adj[last]...)
+		for _, v := range neighbors {
+			removeEdge(g, last, v)
+		}
+		g.adj[u] = nil
+		for _, v := range neighbors {
+			g.MustAddEdge(u, v)
+		}
+	}
+	g.labels = g.labels[:last]
+	g.adj = g.adj[:last]
+}
+
+func removeEdge(g *Graph, u, v int) {
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	g.edges--
+}
+
+func removeSorted(ns []int, v int) []int {
+	for i, x := range ns {
+		if x == v {
+			return append(ns[:i], ns[i+1:]...)
+		}
+	}
+	return ns
+}
+
+// inCycle reports whether removing edge {u,v} keeps u reachable from v.
+func inCycle(g *Graph, u, v int) bool {
+	seen := make(map[int]bool, g.N())
+	stack := []int{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range g.Neighbors(x) {
+			if x == u && y == v {
+				continue // skip the edge itself
+			}
+			if y == v {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

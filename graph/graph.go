@@ -1,0 +1,288 @@
+// Package graph provides the labeled-graph data model used throughout the
+// LAN library: undirected graphs with string node labels, as studied by the
+// paper (Sec. III). It also offers serialization, Weisfeiler-Lehman
+// labeling, random generators that mimic the benchmark datasets, and small
+// utilities shared by the distance and learning layers.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected graph with labeled nodes. Nodes are dense integer
+// ids 0..N-1. Edges are stored as adjacency lists sorted by neighbor id;
+// parallel edges and self-loops are rejected.
+//
+// A Graph is cheap to share after construction: all methods that do not
+// mutate are safe for concurrent use.
+type Graph struct {
+	// ID is an optional database identifier (the position of the graph in
+	// its Database, or -1 when the graph is free-standing, e.g. a query).
+	ID int
+
+	labels []string
+	adj    [][]int
+	edges  int
+}
+
+// New returns an empty graph with the given database id (use -1 for
+// free-standing graphs such as queries).
+func New(id int) *Graph {
+	return &Graph{ID: id}
+}
+
+// AddNode appends a node with the given label and returns its id.
+func (g *Graph) AddNode(label string) int {
+	g.labels = append(g.labels, label)
+	g.adj = append(g.adj, nil)
+	return len(g.labels) - 1
+}
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error if either
+// endpoint is out of range, u == v, or the edge already exists.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.labels) || v < 0 || v >= len(g.labels) {
+		return fmt.Errorf("graph: edge {%d,%d} out of range (n=%d)", u, v, len(g.labels))
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.insertNeighbor(u, v)
+	g.insertNeighbor(v, u)
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error. Intended for literals in
+// tests and examples.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) insertNeighbor(u, v int) {
+	ns := g.adj[u]
+	i := sort.SearchInts(ns, v)
+	ns = append(ns, 0)
+	copy(ns[i+1:], ns[i:])
+	ns[i] = v
+	g.adj[u] = ns
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	ns := g.adj[u]
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.labels) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.edges }
+
+// Label returns the label of node u.
+func (g *Graph) Label(u int) string { return g.labels[u] }
+
+// SetLabel relabels node u.
+func (g *Graph) SetLabel(u int, label string) { g.labels[u] = label }
+
+// Neighbors returns the sorted adjacency list of u. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Edges returns all undirected edges as (u, v) pairs with u < v, in
+// lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	for u, ns := range g.adj {
+		for _, v := range ns {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Labels returns a copy of the node label slice, indexed by node id.
+func (g *Graph) Labels() []string {
+	out := make([]string, len(g.labels))
+	copy(out, g.labels)
+	return out
+}
+
+// LabelSet returns the distinct labels in the graph, sorted.
+func (g *Graph) LabelSet() []string {
+	seen := make(map[string]bool, len(g.labels))
+	for _, l := range g.labels {
+		seen[l] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LabelHistogram returns the multiset of node labels as label -> count.
+func (g *Graph) LabelHistogram() map[string]int {
+	h := make(map[string]int, len(g.labels))
+	for _, l := range g.labels {
+		h[l]++
+	}
+	return h
+}
+
+// Clone returns a deep copy of g (including its ID).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{ID: g.ID, edges: g.edges}
+	c.labels = append([]string(nil), g.labels...)
+	c.adj = make([][]int, len(g.adj))
+	for i, ns := range g.adj {
+		c.adj[i] = append([]int(nil), ns...)
+	}
+	return c
+}
+
+// Equal reports whether g and h are identical as labeled graphs with the
+// same node numbering (not isomorphism).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for u := range g.labels {
+		if g.labels[u] != h.labels[u] {
+			return false
+		}
+		if len(g.adj[u]) != len(h.adj[u]) {
+			return false
+		}
+		for i, v := range g.adj[u] {
+			if h.adj[u][i] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks internal invariants (sorted symmetric adjacency, no
+// self-loops, consistent edge count). It is used by tests and by loaders.
+func (g *Graph) Validate() error {
+	if len(g.adj) != len(g.labels) {
+		return fmt.Errorf("graph: %d adjacency lists for %d nodes", len(g.adj), len(g.labels))
+	}
+	count := 0
+	for u, ns := range g.adj {
+		for i, v := range ns {
+			if v < 0 || v >= len(g.labels) {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", u, v)
+			}
+			if v == u {
+				return fmt.Errorf("graph: self-loop on node %d", u)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of node %d not strictly sorted", u)
+			}
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("graph: edge {%d,%d} not symmetric", u, v)
+			}
+			count++
+		}
+	}
+	if count != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency (%d half-edges)", g.edges, count)
+	}
+	return nil
+}
+
+// String renders a compact human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph#%d{n=%d m=%d}", g.ID, g.N(), g.M())
+}
+
+// ConnectedComponents returns the node sets of the connected components,
+// each sorted, ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		for i := 0; i < len(comp); i++ {
+			for _, v := range g.adj[comp[i]] {
+				if !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph is connected (the empty graph is
+// considered connected).
+func (g *Graph) IsConnected() bool {
+	return g.N() == 0 || len(g.ConnectedComponents()) == 1
+}
+
+// Database is an ordered collection of graphs; graph i has ID i.
+type Database []*Graph
+
+// NewDatabase assigns sequential IDs to the given graphs and returns them
+// as a Database.
+func NewDatabase(graphs []*Graph) Database {
+	for i, g := range graphs {
+		g.ID = i
+	}
+	return Database(graphs)
+}
+
+// Stats summarizes a database in the shape of the paper's Table I.
+type Stats struct {
+	Graphs    int     // #graphs
+	AvgNodes  float64 // avg |V|
+	AvgEdges  float64 // avg |E|
+	NumLabels int     // #distinct node labels
+}
+
+// Stats computes dataset statistics.
+func (db Database) Stats() Stats {
+	var s Stats
+	s.Graphs = len(db)
+	labels := make(map[string]bool)
+	var vs, es int
+	for _, g := range db {
+		vs += g.N()
+		es += g.M()
+		for _, l := range g.labels {
+			labels[l] = true
+		}
+	}
+	if s.Graphs > 0 {
+		s.AvgNodes = float64(vs) / float64(s.Graphs)
+		s.AvgEdges = float64(es) / float64(s.Graphs)
+	}
+	s.NumLabels = len(labels)
+	return s
+}

@@ -1,0 +1,625 @@
+// Package autograd implements a small reverse-mode automatic
+// differentiation engine over dense matrices. It provides exactly the
+// operations needed by the library's graph neural networks: linear maps,
+// elementwise nonlinearities, softmax attention, concatenation, weighted
+// readouts and binary cross-entropy — each with a hand-written backward
+// rule verified against finite differences in the tests.
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lansearch/lan/internal/mat"
+)
+
+// Value is a node in the computation graph: a matrix plus an optional
+// gradient and backward rule.
+type Value struct {
+	Data *mat.Matrix
+	Grad *mat.Matrix // allocated lazily; nil until backward touches it
+
+	requiresGrad bool
+	parents      []*Value
+	backward     func() // propagates v.Grad into parents' Grads
+}
+
+// Param wraps a matrix as a trainable leaf (gradients accumulate).
+func Param(m *mat.Matrix) *Value {
+	return &Value{Data: m, requiresGrad: true}
+}
+
+// Const wraps a matrix as a non-trainable leaf.
+func Const(m *mat.Matrix) *Value {
+	return &Value{Data: m}
+}
+
+// RequiresGrad reports whether gradients flow into v.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+func (v *Value) grad() *mat.Matrix {
+	if v.Grad == nil {
+		v.Grad = mat.New(v.Data.Rows, v.Data.Cols)
+	}
+	return v.Grad
+}
+
+// ZeroGrad clears the gradient of v.
+func (v *Value) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+func newNode(data *mat.Matrix, parents ...*Value) *Value {
+	rg := false
+	for _, p := range parents {
+		if p.requiresGrad {
+			rg = true
+			break
+		}
+	}
+	return &Value{Data: data, requiresGrad: rg, parents: parents}
+}
+
+// Backward runs reverse-mode differentiation from v, which must be a 1x1
+// scalar. Gradients accumulate into every reachable Value that requires
+// grad.
+func Backward(v *Value) {
+	if v.Data.Rows != 1 || v.Data.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Backward on non-scalar %dx%d", v.Data.Rows, v.Data.Cols))
+	}
+	order := topo(v)
+	v.grad().Set(0, 0, 1)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil && n.requiresGrad {
+			n.backward()
+		}
+	}
+}
+
+// topo returns the nodes reachable from v in topological order (parents
+// before children).
+func topo(v *Value) []*Value {
+	var order []*Value
+	seen := make(map[*Value]bool)
+	var visit func(n *Value)
+	visit = func(n *Value) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(v)
+	return order
+}
+
+// MatMul returns a * b.
+func MatMul(a, b *Value) *Value {
+	out := newNode(mat.Mul(a.Data, b.Data), a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			a.grad().AddInPlace(mat.MulT(out.Grad, b.Data)) // dA = dOut * Bᵀ
+		}
+		if b.requiresGrad {
+			b.grad().AddInPlace(mat.TMul(a.Data, out.Grad)) // dB = Aᵀ * dOut
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Value) *Value {
+	out := newNode(mat.Add(a.Data, b.Data), a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			a.grad().AddInPlace(out.Grad)
+		}
+		if b.requiresGrad {
+			b.grad().AddInPlace(out.Grad)
+		}
+	}
+	return out
+}
+
+// AddRowBroadcast returns a + b where b is a 1xC row added to every row of
+// the RxC matrix a.
+func AddRowBroadcast(a, b *Value) *Value {
+	if b.Data.Rows != 1 || b.Data.Cols != a.Data.Cols {
+		panic(fmt.Sprintf("autograd: AddRowBroadcast %dx%d + %dx%d", a.Data.Rows, a.Data.Cols, b.Data.Rows, b.Data.Cols))
+	}
+	data := a.Data.Clone()
+	for i := 0; i < data.Rows; i++ {
+		row := data.Row(i)
+		for j, v := range b.Data.Row(0) {
+			row[j] += v
+		}
+	}
+	out := newNode(data, a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			a.grad().AddInPlace(out.Grad)
+		}
+		if b.requiresGrad {
+			g := b.grad().Row(0)
+			for i := 0; i < out.Grad.Rows; i++ {
+				for j, v := range out.Grad.Row(i) {
+					g[j] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OuterSum returns the RxC matrix out[i][j] = a[i][0] + b[0][j] from a
+// column vector a (Rx1) and row vector b (1xC).
+func OuterSum(a, b *Value) *Value {
+	if a.Data.Cols != 1 || b.Data.Rows != 1 {
+		panic(fmt.Sprintf("autograd: OuterSum wants Rx1 and 1xC, got %dx%d and %dx%d", a.Data.Rows, a.Data.Cols, b.Data.Rows, b.Data.Cols))
+	}
+	r, c := a.Data.Rows, b.Data.Cols
+	data := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		ai := a.Data.At(i, 0)
+		row := data.Row(i)
+		for j, bj := range b.Data.Row(0) {
+			row[j] = ai + bj
+		}
+	}
+	out := newNode(data, a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := 0; i < r; i++ {
+				s := 0.0
+				for _, v := range out.Grad.Row(i) {
+					s += v
+				}
+				g.Data[i] += s
+			}
+		}
+		if b.requiresGrad {
+			g := b.grad().Row(0)
+			for i := 0; i < r; i++ {
+				for j, v := range out.Grad.Row(i) {
+					g[j] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns s * a for a constant s.
+func Scale(a *Value, s float64) *Value {
+	out := newNode(mat.Scale(a.Data, s), a)
+	out.backward = func() {
+		if a.requiresGrad {
+			a.grad().AddScaledInPlace(out.Grad, s)
+		}
+	}
+	return out
+}
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Value) *Value {
+	data := a.Data.Clone()
+	for i, v := range data.Data {
+		if v < 0 {
+			data.Data[i] = 0
+		}
+	}
+	out := newNode(data, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.grad()
+		for i, v := range a.Data.Data {
+			if v > 0 {
+				g.Data[i] += out.Grad.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^-a) elementwise.
+func Sigmoid(a *Value) *Value {
+	data := a.Data.Clone()
+	for i, v := range data.Data {
+		data.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	out := newNode(data, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.grad()
+		for i, s := range out.Data.Data {
+			g.Data[i] += out.Grad.Data[i] * s * (1 - s)
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Value) *Value {
+	data := a.Data.Clone()
+	for i, v := range data.Data {
+		data.Data[i] = math.Tanh(v)
+	}
+	out := newNode(data, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.grad()
+		for i, t := range out.Data.Data {
+			g.Data[i] += out.Grad.Data[i] * (1 - t*t)
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row.
+func SoftmaxRows(a *Value) *Value {
+	data := mat.New(a.Data.Rows, a.Data.Cols)
+	for i := 0; i < a.Data.Rows; i++ {
+		src := a.Data.Row(i)
+		dst := data.Row(i)
+		max := math.Inf(-1)
+		for _, v := range src {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range src {
+			e := math.Exp(v - max)
+			dst[j] = e
+			sum += e
+		}
+		for j := range dst {
+			dst[j] /= sum
+		}
+	}
+	out := newNode(data, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.grad()
+		for i := 0; i < a.Data.Rows; i++ {
+			p := out.Data.Row(i)
+			dout := out.Grad.Row(i)
+			dot := 0.0
+			for j, pj := range p {
+				dot += pj * dout[j]
+			}
+			grow := g.Row(i)
+			for j, pj := range p {
+				grow[j] += pj * (dout[j] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Value) *Value {
+	out := newNode(mat.Transpose(a.Data), a)
+	out.backward = func() {
+		if a.requiresGrad {
+			a.grad().AddInPlace(mat.Transpose(out.Grad))
+		}
+	}
+	return out
+}
+
+// ConcatCols returns [a | b] with matching row counts.
+func ConcatCols(a, b *Value) *Value {
+	if a.Data.Rows != b.Data.Rows {
+		panic(fmt.Sprintf("autograd: ConcatCols rows %d vs %d", a.Data.Rows, b.Data.Rows))
+	}
+	r := a.Data.Rows
+	ca, cb := a.Data.Cols, b.Data.Cols
+	data := mat.New(r, ca+cb)
+	for i := 0; i < r; i++ {
+		copy(data.Row(i)[:ca], a.Data.Row(i))
+		copy(data.Row(i)[ca:], b.Data.Row(i))
+	}
+	out := newNode(data, a, b)
+	out.backward = func() {
+		for i := 0; i < r; i++ {
+			row := out.Grad.Row(i)
+			if a.requiresGrad {
+				g := a.grad().Row(i)
+				for j := 0; j < ca; j++ {
+					g[j] += row[j]
+				}
+			}
+			if b.requiresGrad {
+				g := b.grad().Row(i)
+				for j := 0; j < cb; j++ {
+					g[j] += row[ca+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks a on top of b (matching column counts).
+func ConcatRows(a, b *Value) *Value {
+	if a.Data.Cols != b.Data.Cols {
+		panic(fmt.Sprintf("autograd: ConcatRows cols %d vs %d", a.Data.Cols, b.Data.Cols))
+	}
+	ra, rb := a.Data.Rows, b.Data.Rows
+	data := mat.New(ra+rb, a.Data.Cols)
+	copy(data.Data[:ra*a.Data.Cols], a.Data.Data)
+	copy(data.Data[ra*a.Data.Cols:], b.Data.Data)
+	out := newNode(data, a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			for i := 0; i < ra; i++ {
+				g := a.grad().Row(i)
+				for j, v := range out.Grad.Row(i) {
+					g[j] += v
+				}
+			}
+		}
+		if b.requiresGrad {
+			for i := 0; i < rb; i++ {
+				g := b.grad().Row(i)
+				for j, v := range out.Grad.Row(ra + i) {
+					g[j] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WeightedMeanRows returns the 1xC row (Σᵢ wᵢ·a[i,:]) / Σᵢ wᵢ for constant
+// non-negative weights w, one per row of a. It is the CG readout of
+// Definition 3 (weights are group sizes) and, with unit weights, the plain
+// mean-pool readout.
+func WeightedMeanRows(a *Value, w []float64) *Value {
+	if len(w) != a.Data.Rows {
+		panic(fmt.Sprintf("autograd: WeightedMeanRows %d weights for %d rows", len(w), a.Data.Rows))
+	}
+	total := 0.0
+	for _, wi := range w {
+		total += wi
+	}
+	if total == 0 {
+		panic("autograd: WeightedMeanRows zero total weight")
+	}
+	data := mat.New(1, a.Data.Cols)
+	for i, wi := range w {
+		row := a.Data.Row(i)
+		for j, v := range row {
+			data.Data[j] += wi * v
+		}
+	}
+	for j := range data.Data {
+		data.Data[j] /= total
+	}
+	out := newNode(data, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.grad()
+		dout := out.Grad.Row(0)
+		for i, wi := range w {
+			f := wi / total
+			grow := g.Row(i)
+			for j, v := range dout {
+				grow[j] += f * v
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the 1x1 sum of all elements of a.
+func Sum(a *Value) *Value {
+	s := 0.0
+	for _, v := range a.Data.Data {
+		s += v
+	}
+	out := newNode(mat.FromSlice(1, 1, []float64{s}), a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		a.grad().AddScaledInPlace(onesLike(a.Data), out.Grad.At(0, 0))
+	}
+	return out
+}
+
+// SumSquares returns the 1x1 sum of squared elements (for L2 penalties).
+func SumSquares(a *Value) *Value {
+	s := 0.0
+	for _, v := range a.Data.Data {
+		s += v * v
+	}
+	out := newNode(mat.FromSlice(1, 1, []float64{s}), a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		a.grad().AddScaledInPlace(a.Data, 2*out.Grad.At(0, 0))
+	}
+	return out
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func Mul(a, b *Value) *Value {
+	out := newNode(mat.Hadamard(a.Data, b.Data), a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			a.grad().AddInPlace(mat.Hadamard(out.Grad, b.Data))
+		}
+		if b.requiresGrad {
+			b.grad().AddInPlace(mat.Hadamard(out.Grad, a.Data))
+		}
+	}
+	return out
+}
+
+// GatherCols returns the column slice a[:, from:to).
+func GatherCols(a *Value, from, to int) *Value {
+	if from < 0 || to > a.Data.Cols || from >= to {
+		panic(fmt.Sprintf("autograd: GatherCols [%d, %d) of %d cols", from, to, a.Data.Cols))
+	}
+	w := to - from
+	data := mat.New(a.Data.Rows, w)
+	for i := 0; i < a.Data.Rows; i++ {
+		copy(data.Row(i), a.Data.Row(i)[from:to])
+	}
+	out := newNode(data, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.grad()
+		for i := 0; i < a.Data.Rows; i++ {
+			grow := g.Row(i)
+			for j, v := range out.Grad.Row(i) {
+				grow[from+j] += v
+			}
+		}
+	}
+	return out
+}
+
+// GatherRows returns the matrix whose i-th row is a's row idx[i]. Rows may
+// repeat; gradients scatter-add back.
+func GatherRows(a *Value, idx []int) *Value {
+	data := mat.New(len(idx), a.Data.Cols)
+	for i, r := range idx {
+		copy(data.Row(i), a.Data.Row(r))
+	}
+	out := newNode(data, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.grad()
+		for i, r := range idx {
+			grow := g.Row(r)
+			for j, v := range out.Grad.Row(i) {
+				grow[j] += v
+			}
+		}
+	}
+	return out
+}
+
+// Lin is one term of a row linear combination: weight W applied to source
+// row Row.
+type Lin struct {
+	Row int
+	W   float64
+}
+
+// LinearCombRows returns the matrix whose i-th row is the weighted sum
+// Σ combos[i][k].W * a[combos[i][k].Row, :]. It is the sparse aggregation
+// primitive behind GNN message passing on (compressed) GNN-graphs.
+func LinearCombRows(a *Value, combos [][]Lin) *Value {
+	data := mat.New(len(combos), a.Data.Cols)
+	for i, terms := range combos {
+		dst := data.Row(i)
+		for _, t := range terms {
+			src := a.Data.Row(t.Row)
+			for j, v := range src {
+				dst[j] += t.W * v
+			}
+		}
+	}
+	out := newNode(data, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.grad()
+		for i, terms := range combos {
+			dout := out.Grad.Row(i)
+			for _, t := range terms {
+				grow := g.Row(t.Row)
+				for j, v := range dout {
+					grow[j] += t.W * v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BCEWithLogits returns the 1x1 mean binary cross-entropy between logits
+// and constant targets in {0,1}, computed in the numerically stable form
+// max(x,0) - x*t + log(1+exp(-|x|)).
+func BCEWithLogits(logits *Value, targets *mat.Matrix) *Value {
+	logits.Data.SameShapeOrPanic(targets)
+	n := float64(len(targets.Data))
+	loss := 0.0
+	for i, x := range logits.Data.Data {
+		t := targets.Data[i]
+		loss += math.Max(x, 0) - x*t + math.Log1p(math.Exp(-math.Abs(x)))
+	}
+	loss /= n
+	out := newNode(mat.FromSlice(1, 1, []float64{loss}), logits)
+	out.backward = func() {
+		if !logits.requiresGrad {
+			return
+		}
+		g := logits.grad()
+		scale := out.Grad.At(0, 0) / n
+		for i, x := range logits.Data.Data {
+			s := 1 / (1 + math.Exp(-x))
+			g.Data[i] += scale * (s - targets.Data[i])
+		}
+	}
+	return out
+}
+
+// MSE returns the 1x1 mean squared error between pred and constant targets.
+func MSE(pred *Value, targets *mat.Matrix) *Value {
+	pred.Data.SameShapeOrPanic(targets)
+	n := float64(len(targets.Data))
+	loss := 0.0
+	for i, x := range pred.Data.Data {
+		d := x - targets.Data[i]
+		loss += d * d
+	}
+	loss /= n
+	out := newNode(mat.FromSlice(1, 1, []float64{loss}), pred)
+	out.backward = func() {
+		if !pred.requiresGrad {
+			return
+		}
+		g := pred.grad()
+		scale := 2 * out.Grad.At(0, 0) / n
+		for i, x := range pred.Data.Data {
+			g.Data[i] += scale * (x - targets.Data[i])
+		}
+	}
+	return out
+}
+
+func onesLike(m *mat.Matrix) *mat.Matrix {
+	o := mat.New(m.Rows, m.Cols)
+	for i := range o.Data {
+		o.Data[i] = 1
+	}
+	return o
+}

@@ -1,0 +1,433 @@
+package cg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/autograd"
+	"github.com/lansearch/lan/internal/mat"
+	"github.com/lansearch/lan/internal/nn"
+)
+
+func testDB(seed int64, n int) graph.Database {
+	gen := graph.NewGenerator(seed)
+	labels := []string{"A", "B", "C", "D"}
+	var gs []*graph.Graph
+	for i := 0; i < n; i++ {
+		gs = append(gs, gen.MoleculeLike(5+i%12, 1+i%3, labels, 0.4))
+	}
+	return graph.NewDatabase(gs)
+}
+
+func TestVocab(t *testing.T) {
+	db := testDB(1, 5)
+	v := NewVocab(db)
+	if v.Size() < 2 {
+		t.Fatalf("vocab too small: %d", v.Size())
+	}
+	if v.Index("A") == v.Index("B") {
+		t.Fatalf("distinct labels collided")
+	}
+	if v.Index("__unseen__") != v.Size()-1 {
+		t.Fatalf("OOV index = %d; want %d", v.Index("__unseen__"), v.Size()-1)
+	}
+}
+
+func TestBuildPaperExampleFig2(t *testing.T) {
+	// Fig. 2(a): G = star with center v0 (label A) and leaves v1..v3
+	// (label B) — plus the paper's edges make it a path-ish shape; we use
+	// the star: all three leaves share labels and neighborhoods, so every
+	// level has exactly 2 groups (Fig. 4(a)).
+	g := graph.New(-1)
+	v0 := g.AddNode("A")
+	for i := 0; i < 3; i++ {
+		vi := g.AddNode("B")
+		g.MustAddEdge(v0, vi)
+	}
+	vocab := NewVocab(graph.Database{g})
+	c := Build(g, 2, vocab)
+	for l := 0; l <= 2; l++ {
+		if got := c.Groups(l); got != 2 {
+			t.Fatalf("level %d groups = %d; want 2", l, got)
+		}
+	}
+	// Center group has size 1, leaf group 3.
+	sizes := c.Levels[0].Size
+	if !(sizes[0] == 1 && sizes[1] == 3) && !(sizes[0] == 3 && sizes[1] == 1) {
+		t.Fatalf("level-0 sizes = %v", sizes)
+	}
+	// The center aggregates itself once and three leaves (weight 3); the
+	// edge weights per Algorithm 5 must reflect that.
+	var centerIn []autograd.Lin
+	for i := range c.Levels[1].Size {
+		if c.Levels[1].Size[i] == 1 {
+			centerIn = c.Levels[1].In[i]
+		}
+	}
+	wsum := 0.0
+	for _, e := range centerIn {
+		wsum += e.W
+	}
+	if wsum != 4 { // self (1) + three leaves (3)
+		t.Fatalf("center in-weights sum = %v; want 4", wsum)
+	}
+}
+
+func TestBuildGroupCountsMatchWL(t *testing.T) {
+	// Theorem 4: groups per level == WL classes per level.
+	db := testDB(2, 10)
+	vocab := NewVocab(db)
+	for _, g := range db {
+		wl := graph.WL(g, 3)
+		c := Build(g, 3, vocab)
+		for l := 0; l <= 3; l++ {
+			classes := make(map[int]bool)
+			for _, cl := range wl.Labels[l] {
+				classes[cl] = true
+			}
+			if c.Groups(l) != len(classes) {
+				t.Fatalf("graph %d level %d: %d groups, %d WL classes", g.ID, l, c.Groups(l), len(classes))
+			}
+		}
+	}
+}
+
+func TestBuildRawShape(t *testing.T) {
+	db := testDB(3, 3)
+	vocab := NewVocab(db)
+	g := db[0]
+	c := BuildRaw(g, 2, vocab)
+	for l := 0; l <= 2; l++ {
+		if c.Groups(l) != g.N() {
+			t.Fatalf("raw level %d groups = %d; want %d", l, c.Groups(l), g.N())
+		}
+	}
+	// In-list of node u must have degree+1 unit edges.
+	for u := 0; u < g.N(); u++ {
+		ins := c.Levels[1].In[u]
+		if len(ins) != g.Degree(u)+1 {
+			t.Fatalf("node %d has %d in-edges; want %d", u, len(ins), g.Degree(u)+1)
+		}
+		for _, e := range ins {
+			if e.W != 1 {
+				t.Fatalf("raw edge weight %v", e.W)
+			}
+		}
+	}
+}
+
+func TestCompressedNeverLargerThanRaw(t *testing.T) {
+	// Corollary 1 at the structural level.
+	db := testDB(4, 12)
+	vocab := NewVocab(db)
+	for _, g := range db {
+		c := Build(g, 3, vocab)
+		r := BuildRaw(g, 3, vocab)
+		for l := 0; l <= 3; l++ {
+			if c.Groups(l) > r.Groups(l) {
+				t.Fatalf("graph %d level %d: compressed %d > raw %d", g.ID, l, c.Groups(l), r.Groups(l))
+			}
+		}
+		cc := CrossCost(c, c)
+		rc := CrossCost(r, r)
+		if cc.AggEdges > rc.AggEdges || cc.AttnPairs > rc.AttnPairs || cc.MatmulRows > rc.MatmulRows {
+			t.Fatalf("graph %d: compressed cost %+v exceeds raw %+v", g.ID, cc, rc)
+		}
+	}
+}
+
+func newTestModel(t *testing.T, db graph.Database, layers, dim int) (*CrossModel, *Vocab) {
+	t.Helper()
+	vocab := NewVocab(db)
+	p := nn.NewParams()
+	m := NewCrossModel(p, "m", Config{Layers: layers, Dim: dim, Vocab: vocab}, rand.New(rand.NewSource(99)))
+	return m, vocab
+}
+
+func TestTheorem2CompressedEqualsRaw(t *testing.T) {
+	db := testDB(5, 8)
+	m, vocab := newTestModel(t, db, 3, 8)
+	for i := 0; i < len(db); i++ {
+		for j := i + 1; j < len(db); j++ {
+			g, q := db[i], db[j]
+			raw := m.Forward(BuildRaw(g, 3, vocab), BuildRaw(q, 3, vocab))
+			comp := m.Forward(Build(g, 3, vocab), Build(q, 3, vocab))
+			if d := mat.MaxAbsDiff(raw.Data, comp.Data); d > 1e-9 {
+				t.Fatalf("pair (%d,%d): |raw - compressed| = %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestTheorem2MixedInputs(t *testing.T) {
+	// Raw G with compressed Q must still match (the two sides are
+	// independent groupings of the same computation).
+	db := testDB(6, 4)
+	m, vocab := newTestModel(t, db, 2, 6)
+	g, q := db[0], db[1]
+	a := m.Forward(BuildRaw(g, 2, vocab), Build(q, 2, vocab))
+	b := m.Forward(Build(g, 2, vocab), BuildRaw(q, 2, vocab))
+	if d := mat.MaxAbsDiff(a.Data, b.Data); d > 1e-9 {
+		t.Fatalf("mixed inputs diverge: %v", d)
+	}
+}
+
+func TestForwardShapeAndDeterminism(t *testing.T) {
+	db := testDB(7, 3)
+	m, vocab := newTestModel(t, db, 2, 5)
+	c0, c1 := Build(db[0], 2, vocab), Build(db[1], 2, vocab)
+	out := m.Forward(c0, c1)
+	if out.Data.Rows != 1 || out.Data.Cols != 10 {
+		t.Fatalf("cross embedding shape %dx%d; want 1x10", out.Data.Rows, out.Data.Cols)
+	}
+	out2 := m.Forward(c0, c1)
+	if mat.MaxAbsDiff(out.Data, out2.Data) != 0 {
+		t.Fatalf("forward not deterministic")
+	}
+}
+
+func TestCrossModelGradientsFlow(t *testing.T) {
+	db := testDB(8, 2)
+	vocab := NewVocab(db)
+	p := nn.NewParams()
+	m := NewCrossModel(p, "m", Config{Layers: 2, Dim: 4, Vocab: vocab}, rand.New(rand.NewSource(1)))
+	out := m.Forward(Build(db[0], 2, vocab), Build(db[1], 2, vocab))
+	loss := autograd.SumSquares(out)
+	autograd.Backward(loss)
+	for _, name := range p.Names() {
+		v := p.Get(name)
+		if v.Grad == nil {
+			t.Fatalf("parameter %s received no gradient", name)
+		}
+	}
+	// At least the first-layer W must have a nonzero gradient.
+	if p.Get("m.W1").Grad.Norm2() == 0 {
+		t.Fatalf("first-layer gradient identically zero")
+	}
+}
+
+func TestCrossModelTrainsToSeparateClasses(t *testing.T) {
+	// Tiny end-to-end learnability check: classify whether Q is a mutation
+	// of G (positive) or an unrelated graph (negative).
+	gen := graph.NewGenerator(42)
+	labels := []string{"A", "B", "C"}
+	var db []*graph.Graph
+	for i := 0; i < 8; i++ {
+		db = append(db, gen.MoleculeLike(8, 1, labels, 0.3))
+	}
+	vocab := NewVocab(graph.NewDatabase(db))
+	p := nn.NewParams()
+	rng := rand.New(rand.NewSource(5))
+	m := NewCrossModel(p, "m", Config{Layers: 2, Dim: 8, Vocab: vocab}, rng)
+	head := nn.NewMLP(p, "head", []int{16, 8, 1}, rng)
+	opt := nn.NewAdam(0.01)
+
+	type pair struct {
+		a, b *Compressed
+		y    float64
+	}
+	var pairs []pair
+	for i := 0; i < 8; i++ {
+		g := db[i]
+		mut := gen.Mutate(g, 1, labels)
+		far := gen.MoleculeLike(8, 1, labels, 0.3)
+		pairs = append(pairs,
+			pair{Build(g, 2, vocab), Build(mut, 2, vocab), 1},
+			pair{Build(g, 2, vocab), Build(far, 2, vocab), 0},
+		)
+	}
+	var loss float64
+	for epoch := 0; epoch < 60; epoch++ {
+		p.ZeroGrad()
+		total := 0.0
+		for _, pr := range pairs {
+			emb := m.Forward(pr.a, pr.b)
+			logit := head.Apply(emb)
+			l := autograd.BCEWithLogits(logit, mat.FromSlice(1, 1, []float64{pr.y}))
+			autograd.Backward(l)
+			total += l.Data.At(0, 0)
+		}
+		opt.Step(p)
+		loss = total / float64(len(pairs))
+	}
+	if loss > 0.45 {
+		t.Fatalf("cross model failed to fit toy task: loss %v", loss)
+	}
+}
+
+func TestCrossCostAccounting(t *testing.T) {
+	db := testDB(9, 2)
+	vocab := NewVocab(db)
+	a := BuildRaw(db[0], 2, vocab)
+	b := BuildRaw(db[1], 2, vocab)
+	c := CrossCost(a, b)
+	n0, n1 := db[0].N(), db[1].N()
+	wantAttn := 2 * 2 * n0 * n1 // two layers, both directions
+	if c.AttnPairs != wantAttn {
+		t.Fatalf("AttnPairs = %d; want %d", c.AttnPairs, wantAttn)
+	}
+	wantRows := 2 * (n0 + n1)
+	if c.MatmulRows != wantRows {
+		t.Fatalf("MatmulRows = %d; want %d", c.MatmulRows, wantRows)
+	}
+	wantAgg := 2 * (n0 + 2*db[0].M() + n1 + 2*db[1].M())
+	if c.AggEdges != wantAgg {
+		t.Fatalf("AggEdges = %d; want %d", c.AggEdges, wantAgg)
+	}
+	if c.Total() != c.AggEdges+c.AttnPairs+c.MatmulRows {
+		t.Fatalf("Total inconsistent")
+	}
+}
+
+func TestGINModelEmbedding(t *testing.T) {
+	db := testDB(10, 4)
+	vocab := NewVocab(db)
+	p := nn.NewParams()
+	m := NewGINModel(p, "gin", Config{Layers: 2, Dim: 6, Vocab: vocab}, rand.New(rand.NewSource(2)))
+	e0 := m.Embed(Build(db[0], 2, vocab))
+	if len(e0) != 6 {
+		t.Fatalf("embedding dim %d; want 6", len(e0))
+	}
+	// Compressed == raw for plain GIN too.
+	e0raw := m.Embed(BuildRaw(db[0], 2, vocab))
+	for i := range e0 {
+		if math.Abs(e0[i]-e0raw[i]) > 1e-9 {
+			t.Fatalf("GIN compressed != raw at %d: %v vs %v", i, e0[i], e0raw[i])
+		}
+	}
+	// Same graph twice -> same embedding; different graphs (generically)
+	// differ.
+	e0b := m.Embed(Build(db[0], 2, vocab))
+	for i := range e0 {
+		if e0[i] != e0b[i] {
+			t.Fatalf("embedding not deterministic")
+		}
+	}
+}
+
+func TestHAGEquivalenceAndSavings(t *testing.T) {
+	db := testDB(11, 6)
+	m, vocab := newTestModel(t, db, 2, 6)
+	for i := 0; i+1 < len(db); i += 2 {
+		g, q := db[i], db[i+1]
+		rawG, rawQ := BuildRaw(g, 2, vocab), BuildRaw(q, 2, vocab)
+		hg, hq := BuildHAG(rawG, 8), BuildHAG(rawQ, 8)
+		want := m.Forward(rawG, rawQ)
+		got := ForwardCross(m, hg, hq)
+		if d := mat.MaxAbsDiff(want.Data, got.Data); d > 1e-9 {
+			t.Fatalf("pair %d: HAG forward differs by %v", i, d)
+		}
+		// The plan never increases aggregation work.
+		rawEdges := 0
+		for l := 1; l <= 2; l++ {
+			for _, ins := range rawG.Levels[l].In {
+				rawEdges += len(ins)
+			}
+		}
+		if hg.AggEdges() > rawEdges {
+			t.Fatalf("HAG increased agg edges: %d > %d", hg.AggEdges(), rawEdges)
+		}
+	}
+}
+
+func TestHAGFindsSharingInDenseGraph(t *testing.T) {
+	// A complete graph has maximal neighbor overlap: HAG must save edges.
+	g := graph.New(-1)
+	for i := 0; i < 6; i++ {
+		g.AddNode("X")
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	vocab := NewVocab(graph.Database{g})
+	raw := BuildRaw(g, 2, vocab)
+	h := BuildHAG(raw, 16)
+	rawEdges := 0
+	for l := 1; l <= 2; l++ {
+		for _, ins := range raw.Levels[l].In {
+			rawEdges += len(ins)
+		}
+	}
+	if h.AggEdges() >= rawEdges {
+		t.Fatalf("HAG saved nothing on K6: %d >= %d", h.AggEdges(), rawEdges)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := nn.NewParams()
+	rng := rand.New(rand.NewSource(0))
+	for i, bad := range []Config{
+		{Layers: 0, Dim: 4, Vocab: &Vocab{size: 3}},
+		{Layers: 2, Dim: 0, Vocab: &Vocab{size: 3}},
+		{Layers: 2, Dim: 4, Vocab: nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: no panic", i)
+				}
+			}()
+			NewCrossModel(p, "x", bad, rng)
+		}()
+	}
+}
+
+func TestInferMatchesForward(t *testing.T) {
+	db := testDB(21, 8)
+	m, vocab := newTestModel(t, db, 3, 8)
+	for i := 0; i+1 < len(db); i += 2 {
+		cgG := Build(db[i], 3, vocab)
+		cgQ := Build(db[i+1], 3, vocab)
+		want := m.Forward(cgG, cgQ).Data.Data
+		got := m.Infer(cgG, cgQ)
+		if len(got) != len(want) {
+			t.Fatalf("pair %d: dim %d vs %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-9 {
+				t.Fatalf("pair %d: Infer[%d] = %v; Forward = %v", i, j, got[j], want[j])
+			}
+		}
+		// Raw inputs too.
+		rawWant := m.Forward(BuildRaw(db[i], 3, vocab), BuildRaw(db[i+1], 3, vocab)).Data.Data
+		rawGot := m.Infer(BuildRaw(db[i], 3, vocab), BuildRaw(db[i+1], 3, vocab))
+		for j := range rawWant {
+			if math.Abs(rawGot[j]-rawWant[j]) > 1e-9 {
+				t.Fatalf("pair %d raw: Infer[%d] diverges", i, j)
+			}
+		}
+	}
+}
+
+func TestInferValueUsableByHeads(t *testing.T) {
+	db := testDB(22, 2)
+	m, vocab := newTestModel(t, db, 2, 6)
+	v := m.InferValue(Build(db[0], 2, vocab), Build(db[1], 2, vocab))
+	if v.Data.Rows != 1 || v.Data.Cols != 12 {
+		t.Fatalf("InferValue shape %dx%d", v.Data.Rows, v.Data.Cols)
+	}
+	if v.RequiresGrad() {
+		t.Fatal("inference value should not require grad")
+	}
+}
+
+func TestGINEmbedMatchesForward(t *testing.T) {
+	db := testDB(23, 6)
+	vocab := NewVocab(db)
+	p := nn.NewParams()
+	m := NewGINModel(p, "gin", Config{Layers: 3, Dim: 7, Vocab: vocab}, rand.New(rand.NewSource(2)))
+	for _, g := range db {
+		c := Build(g, 3, vocab)
+		want := m.Forward(c).Data.Data
+		got := m.Embed(c)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-9 {
+				t.Fatalf("graph %d: Embed[%d]=%v Forward=%v", g.ID, j, got[j], want[j])
+			}
+		}
+	}
+}

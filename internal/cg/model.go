@@ -1,0 +1,178 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/lansearch/lan/internal/autograd"
+	"github.com/lansearch/lan/internal/mat"
+	"github.com/lansearch/lan/internal/nn"
+)
+
+// Config describes the shape of a (cross-)graph network.
+type Config struct {
+	// Layers is L, the number of graph convolution layers.
+	Layers int
+	// Dim is the hidden embedding dimension of every layer l >= 1.
+	Dim int
+	// Vocab provides the level-0 one-hot input features.
+	Vocab *Vocab
+}
+
+// EmbedDim returns the dimension of a single-graph embedding.
+func (c Config) EmbedDim() int { return c.Dim }
+
+// CrossDim returns the dimension of a cross-graph embedding h_G || h_Q.
+func (c Config) CrossDim() int { return 2 * c.Dim }
+
+// CrossModel is the GMN-style cross-graph network of Sec. III-E: at every
+// layer each node aggregates its (compressed) graph neighborhood (Eq. 4/8)
+// and attends over all nodes of the other graph (Eq. 5-6 / 9-10). It runs
+// on Compressed inputs; feeding BuildRaw inputs yields Definition 1 and
+// feeding Build inputs yields Definition 3.
+type CrossModel struct {
+	Cfg Config
+	W   []*autograd.Value // W[l]: d_{l-1} x Dim, l = 1..Layers
+	A1  []*autograd.Value // a = A1 || A2 split so scores decompose into an outer sum
+	A2  []*autograd.Value
+}
+
+// NewCrossModel registers the model's parameters under prefix.
+func NewCrossModel(p *nn.Params, prefix string, cfg Config, rng *rand.Rand) *CrossModel {
+	if cfg.Layers < 1 || cfg.Dim < 1 || cfg.Vocab == nil {
+		panic(fmt.Sprintf("cg: bad config %+v", cfg))
+	}
+	m := &CrossModel{Cfg: cfg}
+	din := cfg.Vocab.Size()
+	for l := 1; l <= cfg.Layers; l++ {
+		std := math.Sqrt(2.0 / float64(din+cfg.Dim))
+		m.W = append(m.W, p.Add(fmt.Sprintf("%s.W%d", prefix, l), mat.Randn(din, cfg.Dim, std, rng)))
+		m.A1 = append(m.A1, p.Add(fmt.Sprintf("%s.a1_%d", prefix, l), mat.Randn(din, 1, std, rng)))
+		m.A2 = append(m.A2, p.Add(fmt.Sprintf("%s.a2_%d", prefix, l), mat.Randn(din, 1, std, rng)))
+		din = cfg.Dim
+	}
+	return m
+}
+
+// inputFeatures builds the constant level-0 one-hot feature matrix of c.
+func inputFeatures(c *Compressed, vocabSize int) *autograd.Value {
+	lv := c.Levels[0]
+	m := mat.New(len(lv.Feature), vocabSize)
+	for i, f := range lv.Feature {
+		m.Set(i, f, 1)
+	}
+	return autograd.Const(m)
+}
+
+// logSizes returns the constant 1xN row of log group sizes used to fold
+// the |q| weights of Eq. 10 into a plain softmax.
+func logSizes(sizes []float64) *autograd.Value {
+	m := mat.New(1, len(sizes))
+	for i, s := range sizes {
+		m.Data[i] = math.Log(s)
+	}
+	return autograd.Const(m)
+}
+
+// Forward computes the cross-graph embedding h_G || h_Q (1 x 2*Dim) of two
+// compressed (or raw) GNN-graphs. Theorem 2: the result is identical for
+// Build(g) and BuildRaw(g) inputs.
+func (m *CrossModel) Forward(cgG, cgQ *Compressed) *autograd.Value {
+	if cgG.Depth() < m.Cfg.Layers || cgQ.Depth() < m.Cfg.Layers {
+		panic(fmt.Sprintf("cg: CG depth %d/%d < model layers %d", cgG.Depth(), cgQ.Depth(), m.Cfg.Layers))
+	}
+	hg := inputFeatures(cgG, m.Cfg.Vocab.Size())
+	hq := inputFeatures(cgQ, m.Cfg.Vocab.Size())
+	for l := 1; l <= m.Cfg.Layers; l++ {
+		w, a1, a2 := m.W[l-1], m.A1[l-1], m.A2[l-1]
+		lvG, lvQ := cgG.Levels[l], cgQ.Levels[l]
+		szGprev := cgG.Levels[l-1].Size
+		szQprev := cgQ.Levels[l-1].Size
+
+		// Attention both ways over previous-level groups (Eq. 9-10 with
+		// group-size weights folded into the softmax as log terms).
+		kg1 := autograd.MatMul(hg, a1)
+		kg2 := autograd.Transpose(autograd.MatMul(hg, a2))
+		kq1 := autograd.MatMul(hq, a1)
+		kq2 := autograd.Transpose(autograd.MatMul(hq, a2))
+
+		scoresG := autograd.AddRowBroadcast(autograd.OuterSum(kg1, kq2), logSizes(szQprev))
+		muGprev := autograd.MatMul(autograd.SoftmaxRows(scoresG), hq)
+		scoresQ := autograd.AddRowBroadcast(autograd.OuterSum(kq1, kg2), logSizes(szGprev))
+		muQprev := autograd.MatMul(autograd.SoftmaxRows(scoresQ), hg)
+
+		// Aggregate (Eq. 8), add the cross message of the parent group,
+		// transform, activate (Eq. 7).
+		tG := autograd.LinearCombRows(hg, lvG.In)
+		tQ := autograd.LinearCombRows(hq, lvQ.In)
+		preG := autograd.Add(tG, autograd.GatherRows(muGprev, lvG.Parent))
+		preQ := autograd.Add(tQ, autograd.GatherRows(muQprev, lvQ.Parent))
+		hg = autograd.ReLU(autograd.MatMul(preG, w))
+		hq = autograd.ReLU(autograd.MatMul(preQ, w))
+	}
+	// Weighted mean readout over the last level (group sizes restore the
+	// per-node mean of Definition 1).
+	outG := autograd.WeightedMeanRows(hg, cgG.Levels[m.Cfg.Layers].Size)
+	outQ := autograd.WeightedMeanRows(hq, cgQ.Levels[m.Cfg.Layers].Size)
+	return autograd.ConcatCols(outG, outQ)
+}
+
+// GINModel is a plain GIN encoder (Sec. III-C, Eq. 1) over compressed (or
+// raw) GNN-graphs: the CrossModel without the cross-attention term. It is
+// used for offline graph embeddings (clustering, the L2route baseline).
+type GINModel struct {
+	Cfg Config
+	W   []*autograd.Value
+}
+
+// NewGINModel registers a GIN encoder's parameters under prefix.
+func NewGINModel(p *nn.Params, prefix string, cfg Config, rng *rand.Rand) *GINModel {
+	if cfg.Layers < 1 || cfg.Dim < 1 || cfg.Vocab == nil {
+		panic(fmt.Sprintf("cg: bad config %+v", cfg))
+	}
+	m := &GINModel{Cfg: cfg}
+	din := cfg.Vocab.Size()
+	for l := 1; l <= cfg.Layers; l++ {
+		std := math.Sqrt(2.0 / float64(din+cfg.Dim))
+		m.W = append(m.W, p.Add(fmt.Sprintf("%s.W%d", prefix, l), mat.Randn(din, cfg.Dim, std, rng)))
+		din = cfg.Dim
+	}
+	return m
+}
+
+// Forward computes the graph embedding h_G (1 x Dim).
+func (m *GINModel) Forward(c *Compressed) *autograd.Value {
+	h := inputFeatures(c, m.Cfg.Vocab.Size())
+	for l := 1; l <= m.Cfg.Layers; l++ {
+		t := autograd.LinearCombRows(h, c.Levels[l].In)
+		h = autograd.ReLU(autograd.MatMul(t, m.W[l-1]))
+	}
+	return autograd.WeightedMeanRows(h, c.Levels[m.Cfg.Layers].Size)
+}
+
+// Embed computes the embedding without building an autodiff tape (the
+// inference path; equals Forward's output).
+func (m *GINModel) Embed(c *Compressed) []float64 {
+	h := inferInput(c, m.Cfg.Vocab.Size())
+	for l := 1; l <= m.Cfg.Layers; l++ {
+		lv := c.Levels[l]
+		pre := mat.New(len(lv.In), h.Cols)
+		for i := range lv.In {
+			row := pre.Row(i)
+			for _, e := range lv.In[i] {
+				src := h.Row(e.Row)
+				for k, v := range src {
+					row[k] += e.W * v
+				}
+			}
+		}
+		h = mat.Mul(pre, m.W[l-1].Data)
+		for i, v := range h.Data {
+			if v < 0 {
+				h.Data[i] = 0
+			}
+		}
+	}
+	return weightedMean(h, c.Levels[m.Cfg.Layers].Size)
+}

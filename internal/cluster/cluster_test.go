@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lansearch/lan/graph"
+)
+
+func TestFeatureEmbedderBasics(t *testing.T) {
+	gen := graph.NewGenerator(1)
+	labels := []string{"A", "B", "C"}
+	db := graph.NewDatabase([]*graph.Graph{
+		gen.MoleculeLike(8, 1, labels, 0.3),
+		gen.MoleculeLike(12, 2, labels, 0.3),
+	})
+	e := NewFeatureEmbedder(db)
+	v := e.Embed(db[0])
+	if len(v) != e.Dim() {
+		t.Fatalf("dim mismatch: %d vs %d", len(v), e.Dim())
+	}
+	// Label histogram part sums to 1, degree part sums to 1.
+	sumLabels, sumDeg := 0.0, 0.0
+	for i := 0; i < e.Vocab.Size(); i++ {
+		sumLabels += v[i]
+	}
+	for i := 0; i <= e.MaxDegree; i++ {
+		sumDeg += v[e.Vocab.Size()+i]
+	}
+	if math.Abs(sumLabels-1) > 1e-9 || math.Abs(sumDeg-1) > 1e-9 {
+		t.Fatalf("histograms not normalized: %v %v", sumLabels, sumDeg)
+	}
+	// Same graph -> same embedding; empty graph -> zero vector.
+	v2 := e.Embed(db[0])
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatalf("not deterministic")
+		}
+	}
+	z := e.Embed(graph.New(-1))
+	for _, x := range z {
+		if x != 0 {
+			t.Fatalf("empty graph embedding nonzero: %v", z)
+		}
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	// Two tight blobs in 2D.
+	var points [][]float64
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{0 + float64(i%5)*0.01, 0})
+		points = append(points, []float64{10 + float64(i%5)*0.01, 10})
+	}
+	km, err := FitKMeans(points, 2, 50, 1)
+	if err != nil {
+		t.Fatalf("FitKMeans: %v", err)
+	}
+	if km.K() != 2 {
+		t.Fatalf("K = %d", km.K())
+	}
+	// All even indices in one cluster, all odd in the other.
+	for i := 2; i < len(points); i += 2 {
+		if km.Assign[i] != km.Assign[0] {
+			t.Fatalf("blob A split")
+		}
+	}
+	for i := 3; i < len(points); i += 2 {
+		if km.Assign[i] != km.Assign[1] {
+			t.Fatalf("blob B split")
+		}
+	}
+	if km.Assign[0] == km.Assign[1] {
+		t.Fatalf("blobs merged")
+	}
+	// Members consistent with Assign.
+	total := 0
+	for c, ms := range km.Members {
+		total += len(ms)
+		for _, i := range ms {
+			if km.Assign[i] != c {
+				t.Fatalf("Members/Assign inconsistent")
+			}
+		}
+	}
+	if total != len(points) {
+		t.Fatalf("members cover %d of %d", total, len(points))
+	}
+	// Nearest maps blob points to their centroid.
+	if km.Nearest([]float64{0.1, 0.1}) != km.Assign[0] {
+		t.Fatalf("Nearest wrong")
+	}
+	if km.Inertia(points) > 1.0 {
+		t.Fatalf("inertia too high: %v", km.Inertia(points))
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if _, err := FitKMeans(nil, 2, 10, 0); err == nil {
+		t.Fatal("no error for empty input")
+	}
+	if _, err := FitKMeans([][]float64{{1}}, 0, 10, 0); err == nil {
+		t.Fatal("no error for k=0")
+	}
+	if _, err := FitKMeans([][]float64{{1}, {1, 2}}, 1, 10, 0); err == nil {
+		t.Fatal("no error for ragged input")
+	}
+	// k > n clamps.
+	km, err := FitKMeans([][]float64{{1}, {2}}, 5, 10, 0)
+	if err != nil || km.K() != 2 {
+		t.Fatalf("clamp failed: %v %v", km, err)
+	}
+	// Identical points do not crash (zero total in seeding).
+	same := [][]float64{{3, 3}, {3, 3}, {3, 3}, {3, 3}}
+	if _, err := FitKMeans(same, 2, 10, 0); err != nil {
+		t.Fatalf("identical points: %v", err)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	var points [][]float64
+	gen := graph.NewGenerator(3)
+	db := graph.Database{}
+	for i := 0; i < 30; i++ {
+		db = append(db, gen.MoleculeLike(6+i%8, 1, []string{"A", "B", "C"}, 0.3))
+	}
+	db = graph.NewDatabase(db)
+	e := NewFeatureEmbedder(db)
+	for _, g := range db {
+		points = append(points, e.Embed(g))
+	}
+	a, _ := FitKMeans(points, 4, 20, 7)
+	b, _ := FitKMeans(points, 4, 20, 7)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("same seed, different assignment")
+		}
+	}
+}
+
+func TestClusteringGroupsMutants(t *testing.T) {
+	// Mutants of the same seed graph should mostly land together.
+	gen := graph.NewGenerator(5)
+	labels := []string{"A", "B", "C", "D"}
+	var gs []*graph.Graph
+	for c := 0; c < 4; c++ {
+		base := gen.MoleculeLike(8+8*c, 1, labels, 0.4)
+		for i := 0; i < 10; i++ {
+			gs = append(gs, gen.Mutate(base, 1, labels))
+		}
+	}
+	db := graph.NewDatabase(gs)
+	e := NewFeatureEmbedder(db)
+	points := make([][]float64, len(db))
+	for i, g := range db {
+		points[i] = e.Embed(g)
+	}
+	km, err := FitKMeans(points, 4, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each true cluster, the majority assignment should cover >= 60%.
+	for c := 0; c < 4; c++ {
+		counts := make(map[int]int)
+		for i := 0; i < 10; i++ {
+			counts[km.Assign[c*10+i]]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		if max < 6 {
+			t.Fatalf("true cluster %d scattered: %v", c, counts)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package core assembles the complete LAN system (Fig. 3 of the paper):
+// the proximity-graph index, the learned neighbor-ranking model M_rk, the
+// initial-node models M_nh and M_c, and the np_route query pipeline. It is
+// the implementation behind the public lan package and the experiment
+// harness; the knobs it exposes (initial-selection strategy, routing
+// strategy, CG acceleration) are exactly the axes the paper's figures
+// vary.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/cluster"
+	"github.com/lansearch/lan/internal/models"
+	"github.com/lansearch/lan/internal/pg"
+	"github.com/lansearch/lan/internal/route"
+)
+
+// Options configure an Engine build.
+type Options struct {
+	// Index construction.
+	M              int        // PG degree parameter (default 8)
+	EfConstruction int        // insertion beam (default 2M)
+	BuildMetric    ged.Metric // offline GED (default Hungarian)
+	QueryMetric    ged.Metric // online GED (default Hungarian)
+
+	// Model shape.
+	Layers       int // GNN layers (default 2)
+	Dim          int // embedding dim (default 16; the paper uses 128)
+	BatchPercent int // the paper's y (default 20)
+	Hidden       int // MLP hidden width (default 2*Dim)
+	// UseCG toggles the compressed-GNN-graph acceleration of Sec. VI
+	// (default true; false is the Fig. 10 ablation).
+	UseCG bool
+
+	// Neighborhood calibration (Sec. VII: gamma* covers the knn-NNs for
+	// the given quantile of training queries).
+	GammaKNN      int     // default 20
+	GammaQuantile float64 // default 0.9
+
+	// Initial selection.
+	Clusters    int // KMeans k (default |D|/64, min 2)
+	TopClusters int // clusters M_c selects (default 3)
+	Samples     int // s verified samples (default 4)
+
+	// Training.
+	Train models.TrainOptions
+	// MaxRankExamples caps the M_rk training set (0 = 512; training cost
+	// scales with it).
+	MaxRankExamples int
+	// MaxMembershipExamples caps the M_nh training set (0 = 2048).
+	MaxMembershipExamples int
+
+	// Routing.
+	StepSize float64 // d_s (default 1)
+
+	Seed int64
+}
+
+func (o *Options) defaults(dbSize int) {
+	if o.M <= 0 {
+		o.M = 8
+	}
+	if o.EfConstruction <= 0 {
+		o.EfConstruction = 2 * o.M
+	}
+	if o.BuildMetric == nil {
+		o.BuildMetric = ged.MetricFunc(ged.Hungarian)
+	}
+	if o.QueryMetric == nil {
+		o.QueryMetric = ged.MetricFunc(ged.Hungarian)
+	}
+	if o.Layers <= 0 {
+		o.Layers = 2
+	}
+	if o.Dim <= 0 {
+		o.Dim = 16
+	}
+	if o.BatchPercent <= 0 {
+		o.BatchPercent = 20
+	}
+	if o.Hidden <= 0 {
+		o.Hidden = 2 * o.Dim
+	}
+	if o.GammaKNN <= 0 {
+		o.GammaKNN = 20
+	}
+	if o.GammaQuantile <= 0 {
+		o.GammaQuantile = 0.9
+	}
+	if o.Clusters <= 0 {
+		o.Clusters = dbSize / 16
+		if o.Clusters < 2 {
+			o.Clusters = 2
+		}
+	}
+	if o.TopClusters <= 0 {
+		o.TopClusters = 3
+	}
+	if o.Samples <= 0 {
+		o.Samples = 4
+	}
+	if o.StepSize <= 0 {
+		o.StepSize = 1
+	}
+	if o.MaxRankExamples <= 0 {
+		o.MaxRankExamples = 512
+	}
+	if o.MaxMembershipExamples <= 0 {
+		o.MaxMembershipExamples = 2048
+	}
+}
+
+// InitialStrategy selects how the routing entry node is chosen.
+type InitialStrategy int
+
+// Initial-selection strategies of Fig. 7.
+const (
+	// LANIS is the paper's learned selection (M_c + M_nh + sampling).
+	LANIS InitialStrategy = iota
+	// HNSWIS descends the HNSW hierarchy.
+	HNSWIS
+	// RandIS picks a pseudo-random node (deterministic per query).
+	RandIS
+	// LANISBasic is Sec. V-B1's basic design: M_nh over the whole
+	// database, no cluster pruning (the ablation of Fig. 7's footnote —
+	// "always slower than the optimized design").
+	LANISBasic
+)
+
+// RoutingStrategy selects the layer-0 routing algorithm.
+type RoutingStrategy int
+
+// Routing strategies of Fig. 6.
+const (
+	// LANRoute is np_route with the learned ranker M_rk.
+	LANRoute RoutingStrategy = iota
+	// BaselineRoute is Algorithm 1 (exhaustive neighbor exploration).
+	BaselineRoute
+	// OracleRoute is np_route with the oracle ranker (upper bound).
+	OracleRoute
+)
+
+// SearchOptions configure one query.
+type SearchOptions struct {
+	K       int
+	Beam    int
+	Initial InitialStrategy
+	Routing RoutingStrategy
+}
+
+// QueryStats breaks down one query's cost (Fig. 11's accounting).
+type QueryStats struct {
+	NDC           int
+	Explored      int
+	RankerCalls   int
+	ISPredictions int
+	// DistTime is wall time inside GED computations; ModelTime inside
+	// GNN inference (ranking + initial selection); Total the whole query.
+	DistTime  time.Duration
+	ModelTime time.Duration
+	Total     time.Duration
+}
+
+// Engine is a fully built LAN system over one database.
+type Engine struct {
+	DB    graph.Database
+	Index *pg.HNSW
+	Opts  Options
+
+	Store     *models.CGStore
+	Mrk       *models.NeighborRanker
+	Mnh       *models.NeighborhoodModel
+	Mc        *models.ClusterModel
+	GammaStar float64
+}
+
+// timedMetric accumulates wall time spent in Distance.
+type timedMetric struct {
+	m       ged.Metric
+	elapsed time.Duration
+}
+
+func (t *timedMetric) Distance(a, b *graph.Graph) float64 {
+	start := time.Now()
+	d := t.m.Distance(a, b)
+	t.elapsed += time.Since(start)
+	return d
+}
+
+// Build constructs the index, trains all three models on trainQueries and
+// returns a ready Engine. Training requires at least a handful of queries;
+// the heavy lifting (index construction, the distance table) is exactly
+// the offline cost the paper describes.
+func Build(db graph.Database, trainQueries []*graph.Graph, opts Options) (*Engine, error) {
+	if len(db) == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+	if len(trainQueries) == 0 {
+		return nil, fmt.Errorf("core: no training queries")
+	}
+	opts.defaults(len(db))
+
+	idx, err := pg.Build(db, pg.BuildConfig{
+		M: opts.M, EfConstruction: opts.EfConstruction,
+		Metric: opts.BuildMetric, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	table := models.ComputeDistanceTable(db, trainQueries, opts.QueryMetric)
+	gammaStar := models.CalibrateGammaStar(table, opts.GammaKNN, opts.GammaQuantile)
+
+	store := models.NewCGStore(db, opts.Layers, opts.UseCG)
+	mcfg := models.Config{
+		Layers: opts.Layers, Dim: opts.Dim, BatchPercent: opts.BatchPercent,
+		Hidden: opts.Hidden, GammaStar: gammaStar, Seed: opts.Seed,
+	}
+
+	e := &Engine{DB: db, Index: idx, Opts: opts, Store: store, GammaStar: gammaStar}
+
+	// M_rk. The training set is shuffled and capped: neighborhoods of all
+	// training queries overlap heavily, and a bounded sample keeps offline
+	// training time proportional to model size rather than |D| x |Q|.
+	e.Mrk = models.NewNeighborRanker(mcfg, store)
+	rankSet := models.BuildRankTrainingSet(idx.PG, table, gammaStar)
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x9e37))
+	rng.Shuffle(len(rankSet), func(i, j int) { rankSet[i], rankSet[j] = rankSet[j], rankSet[i] })
+	if cap := opts.MaxRankExamples; cap > 0 && len(rankSet) > cap {
+		rankSet = rankSet[:cap]
+	}
+	if len(rankSet) > 0 {
+		if err := e.Mrk.Train(db, table, rankSet, opts.Train); err != nil {
+			return nil, err
+		}
+	}
+
+	// M_nh with negative downsampling, shuffled and capped like M_rk.
+	e.Mnh = models.NewNeighborhoodModel(mcfg, store)
+	memberSet := models.BuildMembershipTrainingSet(table, gammaStar, 2, opts.Seed)
+	rng.Shuffle(len(memberSet), func(i, j int) { memberSet[i], memberSet[j] = memberSet[j], memberSet[i] })
+	if cap := opts.MaxMembershipExamples; len(memberSet) > cap {
+		memberSet = memberSet[:cap]
+	}
+	if len(memberSet) > 0 {
+		if err := e.Mnh.Train(db, table, memberSet, opts.Train); err != nil {
+			return nil, err
+		}
+	}
+
+	// Clustering + M_c.
+	emb := cluster.NewFeatureEmbedder(db)
+	points := make([][]float64, len(db))
+	for i, g := range db {
+		points[i] = emb.Embed(g)
+	}
+	km, err := cluster.FitKMeans(points, opts.Clusters, 40, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e.Mc = models.NewClusterModel(mcfg, emb, km)
+	if err := e.Mc.Train(table, models.BuildClusterTrainingSet(table, km, gammaStar), opts.Train); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Search answers one k-ANN query.
+func (e *Engine) Search(q *graph.Graph, so SearchOptions) ([]pg.Result, QueryStats) {
+	start := time.Now()
+	if so.K <= 0 {
+		so.K = 1
+	}
+	if so.Beam < so.K {
+		so.Beam = so.K
+	}
+	tm := &timedMetric{m: e.Opts.QueryMetric}
+	cache := pg.NewDistCache(tm, e.DB, q)
+	var stats QueryStats
+
+	// Initial node.
+	modelStart := time.Now()
+	var distInModels time.Duration
+	entry := 0
+	switch so.Initial {
+	case LANIS, LANISBasic:
+		sel := &models.InitialSelector{
+			Mnh: e.Mnh, Mc: e.Mc,
+			TopClusters: e.Opts.TopClusters, Samples: e.Opts.Samples,
+			Seed: e.Opts.Seed, Predictions: &stats.ISPredictions,
+			Exhaustive: so.Initial == LANISBasic,
+		}
+		before := tm.elapsed
+		entry = sel.Select(e.DB, q, cache)
+		distInModels = tm.elapsed - before
+	case HNSWIS:
+		entry = e.Index.EntryPoint(cache)
+		distInModels = tm.elapsed
+	case RandIS:
+		entry = pseudoRandomEntry(q, len(e.DB))
+	}
+	stats.ModelTime += time.Since(modelStart) - distInModels
+
+	// Routing.
+	switch so.Routing {
+	case BaselineRoute:
+		res, s := pg.BeamSearch(e.Index.PG, cache, entry, so.K, so.Beam)
+		stats.NDC, stats.Explored = s.NDC, s.Explored
+		stats.DistTime = tm.elapsed
+		stats.Total = time.Since(start)
+		return res, stats
+	case OracleRoute:
+		oracle := &route.OracleRanker{
+			Cache: cache, BatchPercent: e.Opts.BatchPercent,
+			// Rank with the cheap build metric so the oracle's
+			// hypothetically-free ranking does not pay the query metric.
+			RankMetric: e.Opts.BuildMetric,
+		}
+		res, s := route.Route(e.Index.PG, cache, oracle, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
+		stats.NDC, stats.Explored, stats.RankerCalls = s.NDC, s.Explored, s.RankerCalls
+		stats.DistTime = tm.elapsed
+		stats.Total = time.Since(start)
+		return res, stats
+	default: // LANRoute
+		inner := e.Mrk.Ranker(e.DB, q, &stats.RankerCalls)
+		ranker := route.RankerFunc(func(node int, neighbors []int, d float64) [][]int {
+			rs := time.Now()
+			b := inner.Batches(node, neighbors, d)
+			stats.ModelTime += time.Since(rs)
+			return b
+		})
+		res, s := route.Route(e.Index.PG, cache, ranker, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
+		stats.NDC, stats.Explored = s.NDC, s.Explored
+		stats.DistTime = tm.elapsed
+		stats.Total = time.Since(start)
+		return res, stats
+	}
+}
+
+// pseudoRandomEntry derives a deterministic pseudo-random entry node from
+// the query's structure (Rand_IS must not depend on mutable state so runs
+// are reproducible).
+func pseudoRandomEntry(q *graph.Graph, n int) int {
+	h := uint64(2166136261)
+	h = h*16777619 ^ uint64(q.N())
+	h = h*16777619 ^ uint64(q.M())
+	for u := 0; u < q.N(); u++ {
+		for _, c := range q.Label(u) {
+			h = h*16777619 ^ uint64(c)
+		}
+	}
+	return int(h % uint64(n))
+}

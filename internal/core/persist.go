@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/cluster"
+	"github.com/lansearch/lan/internal/models"
+	"github.com/lansearch/lan/internal/pg"
+)
+
+// snapshot is the JSON wire form of a built engine (without the database
+// itself, which callers store separately, and without metrics, which are
+// code).
+type snapshot struct {
+	Version   int     `json:"version"`
+	GammaStar float64 `json:"gamma_star"`
+
+	// Index.
+	Adj   [][]int         `json:"adj"`
+	Upper []map[int][]int `json:"upper"`
+	Level []int           `json:"level"`
+	Entry int             `json:"entry"`
+
+	// Options needed to rebuild model shapes.
+	M            int     `json:"m"`
+	Layers       int     `json:"layers"`
+	Dim          int     `json:"dim"`
+	BatchPercent int     `json:"batch_percent"`
+	Hidden       int     `json:"hidden"`
+	UseCG        bool    `json:"use_cg"`
+	TopClusters  int     `json:"top_clusters"`
+	Samples      int     `json:"samples"`
+	StepSize     float64 `json:"step_size"`
+	Seed         int64   `json:"seed"`
+
+	// Clustering.
+	Centroids [][]float64 `json:"centroids"`
+	Assign    []int       `json:"assign"`
+
+	// Model parameters (each the output of nn.Params.Save).
+	MrkParams json.RawMessage `json:"mrk_params"`
+	MnhParams json.RawMessage `json:"mnh_params"`
+	McParams  json.RawMessage `json:"mc_params"`
+}
+
+// Save serializes everything needed to answer queries later: the
+// proximity graph, the calibration, the clustering, and all trained model
+// parameters. The database and the GED metrics are re-supplied at Load.
+func (e *Engine) Save(w io.Writer) error {
+	s := snapshot{
+		Version:   1,
+		GammaStar: e.GammaStar,
+		Adj:       e.Index.PG.Adj,
+		Upper:     e.Index.Upper,
+		Level:     e.Index.Level,
+		Entry:     e.Index.Entry,
+		M:         e.Opts.M,
+		Layers:    e.Opts.Layers, Dim: e.Opts.Dim,
+		BatchPercent: e.Opts.BatchPercent, Hidden: e.Opts.Hidden,
+		UseCG:       e.Opts.UseCG,
+		TopClusters: e.Opts.TopClusters, Samples: e.Opts.Samples,
+		StepSize:  e.Opts.StepSize,
+		Seed:      e.Opts.Seed,
+		Centroids: e.Mc.Clusters().Centroids,
+		Assign:    e.Mc.Clusters().Assign,
+	}
+	var err error
+	if s.MrkParams, err = marshalParams(e.Mrk.Params); err != nil {
+		return err
+	}
+	if s.MnhParams, err = marshalParams(e.Mnh.Params); err != nil {
+		return err
+	}
+	if s.McParams, err = marshalParams(e.Mc.Params); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+func marshalParams(p paramsSaver) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+type paramsSaver interface {
+	Save(io.Writer) error
+	Load(io.Reader) error
+}
+
+// Load reconstructs a saved engine over db. opts supplies the metrics
+// (and may override UseCG); all shape options come from the snapshot.
+func Load(db graph.Database, r io.Reader, opts Options) (*Engine, error) {
+	var s snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if s.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", s.Version)
+	}
+	if len(s.Adj) != len(db) {
+		return nil, fmt.Errorf("core: snapshot indexes %d graphs, database has %d", len(s.Adj), len(db))
+	}
+	opts.M = s.M
+	opts.Layers, opts.Dim = s.Layers, s.Dim
+	opts.BatchPercent, opts.Hidden = s.BatchPercent, s.Hidden
+	opts.UseCG = s.UseCG
+	opts.TopClusters, opts.Samples = s.TopClusters, s.Samples
+	opts.StepSize = s.StepSize
+	opts.Seed = s.Seed
+	opts.defaults(len(db))
+
+	idx := &pg.HNSW{
+		PG:    &pg.PG{DB: db, Adj: s.Adj},
+		Upper: s.Upper,
+		Level: s.Level,
+		Entry: s.Entry,
+	}
+	if err := idx.PG.Validate(); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+
+	store := models.NewCGStore(db, opts.Layers, opts.UseCG)
+	mcfg := models.Config{
+		Layers: opts.Layers, Dim: opts.Dim, BatchPercent: opts.BatchPercent,
+		Hidden: opts.Hidden, GammaStar: s.GammaStar, Seed: opts.Seed,
+	}
+	e := &Engine{DB: db, Index: idx, Opts: opts, Store: store, GammaStar: s.GammaStar}
+
+	e.Mrk = models.NewNeighborRanker(mcfg, store)
+	if err := e.Mrk.Params.Load(bytesReader(s.MrkParams)); err != nil {
+		return nil, err
+	}
+	e.Mnh = models.NewNeighborhoodModel(mcfg, store)
+	if err := e.Mnh.Params.Load(bytesReader(s.MnhParams)); err != nil {
+		return nil, err
+	}
+
+	km := &cluster.KMeans{Centroids: s.Centroids, Assign: s.Assign, Members: make([][]int, len(s.Centroids))}
+	for i, c := range s.Assign {
+		km.Members[c] = append(km.Members[c], i)
+	}
+	emb := cluster.NewFeatureEmbedder(db)
+	e.Mc = models.NewClusterModel(mcfg, emb, km)
+	if err := e.Mc.Params.Load(bytesReader(s.McParams)); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

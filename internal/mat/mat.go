@@ -1,0 +1,235 @@
+// Package mat implements the small dense float64 matrix kernels that back
+// the library's neural network substrate. It is deliberately minimal: row
+// major storage, no views, explicit shapes, and panics on shape mismatch
+// (shape errors are programming bugs, not runtime conditions).
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice builds a matrix from a row-major slice, which is copied.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: %d values for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// Randn fills a new matrix with N(0, std) entries from rng.
+func Randn(rows, cols int, std float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// SameShapeOrPanic panics when m and o have different dimensions.
+func (m *Matrix) SameShapeOrPanic(o *Matrix) { m.shapeCheck(o, "shape") }
+
+func (m *Matrix) shapeCheck(o *Matrix, op string) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Mul returns the matrix product m * o.
+func Mul(m, o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			okrow := o.Row(k)
+			for j, b := range okrow {
+				orow[j] += a * b
+			}
+		}
+	}
+	return out
+}
+
+// MulT returns m * oᵀ.
+func MulT(m, o *Matrix) *Matrix {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("mat: mulT shape mismatch %dx%d * (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Rows)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		for j := 0; j < o.Rows; j++ {
+			orow := o.Row(j)
+			s := 0.0
+			for k, a := range mrow {
+				s += a * orow[k]
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// TMul returns mᵀ * o.
+func TMul(m, o *Matrix) *Matrix {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("mat: tmul shape mismatch (%dx%d)ᵀ * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Cols, o.Cols)
+	for k := 0; k < m.Rows; k++ {
+		mrow := m.Row(k)
+		okrow := o.Row(k)
+		for i, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, b := range okrow {
+				orow[j] += a * b
+			}
+		}
+	}
+	return out
+}
+
+// Add returns m + o.
+func Add(m, o *Matrix) *Matrix {
+	m.shapeCheck(o, "add")
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace accumulates o into m.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	m.shapeCheck(o, "add")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// AddScaledInPlace accumulates s*o into m.
+func (m *Matrix) AddScaledInPlace(o *Matrix, s float64) {
+	m.shapeCheck(o, "addscaled")
+	for i, v := range o.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Sub returns m - o.
+func Sub(m, o *Matrix) *Matrix {
+	m.shapeCheck(o, "sub")
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s * m.
+func Scale(m *Matrix, s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product m ⊙ o.
+func Hadamard(m, o *Matrix) *Matrix {
+	m.shapeCheck(o, "hadamard")
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns max |m - o| elementwise.
+func MaxAbsDiff(m, o *Matrix) float64 {
+	m.shapeCheck(o, "maxabsdiff")
+	max := 0.0
+	for i, v := range o.Data {
+		if d := math.Abs(m.Data[i] - v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)%v", m.Rows, m.Cols, m.Data)
+}

@@ -1,0 +1,51 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLemma2SamplingProbability validates the paper's Lemma 2 by
+// simulation: when the predicted neighborhood has precision p, sampling s
+// graphs independently hits the true neighborhood at least once with
+// probability 1 - (1-p)^s.
+func TestLemma2SamplingProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 20000
+	for _, tc := range []struct {
+		p float64
+		s int
+	}{
+		{0.7, 4},
+		{0.5, 4},
+		{0.3, 8},
+		{0.9, 2},
+	} {
+		want := 1 - math.Pow(1-tc.p, float64(tc.s))
+		hits := 0
+		// Simulate a predicted neighborhood of 1000 members where a
+		// tc.p-fraction are true members.
+		pool := 1000
+		truthCut := int(tc.p * float64(pool))
+		for trial := 0; trial < trials; trial++ {
+			found := false
+			for i := 0; i < tc.s; i++ {
+				if rng.Intn(pool) < truthCut {
+					found = true
+				}
+			}
+			if found {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("p=%.1f s=%d: simulated %.4f, Lemma 2 predicts %.4f", tc.p, tc.s, got, want)
+		}
+	}
+	// The paper's headline instance: p > 0.7 and s = 4 exceeds 0.99.
+	if got := 1 - math.Pow(1-0.7, 4); got <= 0.99 {
+		t.Fatalf("paper's instance violated: %v", got)
+	}
+}

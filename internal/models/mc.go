@@ -1,0 +1,223 @@
+package models
+
+import (
+	"sort"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/autograd"
+	"github.com/lansearch/lan/internal/cluster"
+	"github.com/lansearch/lan/internal/mat"
+	"github.com/lansearch/lan/internal/nn"
+	"github.com/lansearch/lan/internal/pg"
+)
+
+// ClusterModel is M_c (Sec. V-B2): given a cluster of the database and a
+// query it predicts |C ∩ N_Q|, so that M_nh only needs to run inside the
+// top-predicted clusters instead of over the whole database. Inputs are
+// the cluster centroid embedding concatenated with the query embedding.
+type ClusterModel struct {
+	Cfg    Config
+	Params *nn.Params
+
+	embedder cluster.Embedder
+	clusters *cluster.KMeans
+	head     *nn.MLP
+}
+
+// NewClusterModel builds an untrained M_c over a fitted clustering.
+func NewClusterModel(cfg Config, embedder cluster.Embedder, km *cluster.KMeans) *ClusterModel {
+	cfg.defaults()
+	p := nn.NewParams()
+	rng := newRNG(cfg.Seed, 0x33c)
+	// Interaction features |c-q| and c⊙q make the similarity signal
+	// (large intersection when the centroid matches the query) nearly
+	// linear for the MLP.
+	in := 4 * embedder.Dim()
+	return &ClusterModel{
+		Cfg:      cfg,
+		Params:   p,
+		embedder: embedder,
+		clusters: km,
+		head:     nn.NewMLP(p, "mc.head", []int{in, cfg.Hidden, 1}, rng),
+	}
+}
+
+// Clusters exposes the underlying clustering.
+func (m *ClusterModel) Clusters() *cluster.KMeans { return m.clusters }
+
+// predictValue returns the predicted |C ∩ N_Q| for cluster c as an
+// autograd value (training path).
+func (m *ClusterModel) predictValue(c int, qemb []float64) *autograd.Value {
+	cen := m.clusters.Centroids[c]
+	in := make([]float64, 0, 4*m.embedder.Dim())
+	in = append(in, cen...)
+	in = append(in, qemb...)
+	for i := range cen {
+		d := cen[i] - qemb[i]
+		if d < 0 {
+			d = -d
+		}
+		in = append(in, d)
+	}
+	for i := range cen {
+		in = append(in, cen[i]*qemb[i])
+	}
+	return m.head.Apply(autograd.Const(mat.FromSlice(1, len(in), in)))
+}
+
+// Predict returns the predicted intersection size for every cluster.
+func (m *ClusterModel) Predict(q *graph.Graph) []float64 {
+	qemb := m.embedder.Embed(q)
+	out := make([]float64, m.clusters.K())
+	for c := range out {
+		out[c] = m.predictValue(c, qemb).Data.At(0, 0)
+	}
+	return out
+}
+
+// TopClusters returns the indices of the n clusters with the largest
+// predicted intersection, in descending order.
+func (m *ClusterModel) TopClusters(q *graph.Graph, n int) []int {
+	pred := m.Predict(q)
+	idx := make([]int, len(pred))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pred[idx[a]] > pred[idx[b]] })
+	if n < len(idx) {
+		idx = idx[:n]
+	}
+	return idx
+}
+
+// ClusterExample is one M_c training row: the true |C ∩ N_Q| per cluster
+// for one query.
+type ClusterExample struct {
+	Qi            int
+	Intersections []float64
+}
+
+// BuildClusterTrainingSet computes true intersection sizes from the
+// distance table.
+func BuildClusterTrainingSet(table *DistanceTable, km *cluster.KMeans, gammaStar float64) []ClusterExample {
+	out := make([]ClusterExample, len(table.Queries))
+	for qi, row := range table.D {
+		inter := make([]float64, km.K())
+		for g, d := range row {
+			if d <= gammaStar {
+				inter[km.Assign[g]]++
+			}
+		}
+		out[qi] = ClusterExample{Qi: qi, Intersections: inter}
+	}
+	return out
+}
+
+// Train fits M_c by mean squared error on intersection sizes. The skew of
+// the distribution (most clusters intersect N_Q in 0 graphs) is what the
+// network must learn, per the paper.
+func (m *ClusterModel) Train(table *DistanceTable, examples []ClusterExample, opts TrainOptions) error {
+	if len(examples) == 0 {
+		return errf("empty M_c training set")
+	}
+	trainLoop(m.Params, len(examples), opts, m.Cfg.Seed, func(idx int) float64 {
+		ex := examples[idx]
+		qemb := m.embedder.Embed(table.Queries[ex.Qi])
+		total := 0.0
+		for c, truth := range ex.Intersections {
+			loss := autograd.MSE(m.predictValue(c, qemb), mat.FromSlice(1, 1, []float64{truth}))
+			autograd.Backward(loss)
+			total += loss.Data.At(0, 0)
+		}
+		return total / float64(len(ex.Intersections))
+	})
+	return nil
+}
+
+// InitialSelector is LAN_IS (Sec. V-A): M_c prunes to the top clusters,
+// M_nh filters their members into the predicted neighborhood N̂_Q, and s
+// random samples from N̂_Q are verified with true GEDs (charged to the
+// query's DistCache); the best sample seeds the routing.
+type InitialSelector struct {
+	Mnh *NeighborhoodModel
+	Mc  *ClusterModel
+	// TopClusters is the number of clusters M_c selects (default 3).
+	TopClusters int
+	// Samples is s, the number of verified candidates (default 4; the
+	// paper: precision > 0.7 makes 4 samples hit N_Q w.p. > 0.99).
+	Samples int
+	// Seed drives sampling.
+	Seed int64
+	// Predictions, if non-nil, accumulates the number of model
+	// predictions made (the |C| + Σ|C'| quantity of Sec. V-B2).
+	Predictions *int
+	// Exhaustive switches to the basic design of Sec. V-B1: M_nh runs
+	// over every database graph instead of only the top clusters'
+	// members. O(|D|) predictions — kept for the paper's basic-vs-
+	// optimized ablation.
+	Exhaustive bool
+}
+
+// Select returns the initial node for routing Q over db. Fallbacks: when
+// the predicted neighborhood is empty, the graph with the highest M_nh
+// probability among scanned candidates is used; when even that fails, the
+// first member of the top cluster.
+func (s *InitialSelector) Select(db graph.Database, q *graph.Graph, cache *pg.DistCache) int {
+	top := s.TopClusters
+	if top <= 0 {
+		top = 3
+	}
+	samples := s.Samples
+	if samples <= 0 {
+		samples = 4
+	}
+	var candidates []int
+	if s.Exhaustive {
+		candidates = make([]int, len(db))
+		for i := range db {
+			candidates[i] = i
+		}
+	} else {
+		clusters := s.Mc.TopClusters(q, top)
+		if s.Predictions != nil {
+			*s.Predictions += s.Mc.Clusters().K()
+		}
+		for _, c := range clusters {
+			candidates = append(candidates, s.Mc.Clusters().Members[c]...)
+		}
+	}
+
+	var predicted []int
+	bestProb, bestG := -1.0, -1
+	for _, g := range candidates {
+		p := s.Mnh.Prob(db[g], q)
+		if s.Predictions != nil {
+			*s.Predictions++
+		}
+		if p >= 0.5 {
+			predicted = append(predicted, g)
+		}
+		if p > bestProb {
+			bestProb, bestG = p, g
+		}
+	}
+	if len(predicted) == 0 {
+		if bestG >= 0 {
+			return bestG
+		}
+		return candidates[0]
+	}
+
+	rng := newRNG(s.Seed, int64(q.N())*1315423911^int64(q.M()))
+	rng.Shuffle(len(predicted), func(i, j int) { predicted[i], predicted[j] = predicted[j], predicted[i] })
+	if samples > len(predicted) {
+		samples = len(predicted)
+	}
+	best, bestD := predicted[0], cache.Dist(predicted[0])
+	for _, g := range predicted[1:samples] {
+		if d := cache.Dist(g); d < bestD {
+			best, bestD = g, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,134 @@
+package models
+
+import (
+	"math/rand"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/autograd"
+	"github.com/lansearch/lan/internal/cg"
+	"github.com/lansearch/lan/internal/nn"
+)
+
+// NeighborhoodModel is M_nh: given a data graph G and a query Q it
+// predicts whether G lies in the neighborhood N_Q = {G : d(Q,G) <=
+// GammaStar} (Sec. V-B1). The cross-graph embedding h_{G,Q} feeds a
+// binary MLP head.
+type NeighborhoodModel struct {
+	Cfg    Config
+	Params *nn.Params
+
+	cross *cg.CrossModel
+	head  *nn.MLP
+	store *CGStore
+}
+
+// NewNeighborhoodModel builds an untrained M_nh over the store's
+// vocabulary.
+func NewNeighborhoodModel(cfg Config, store *CGStore) *NeighborhoodModel {
+	cfg.defaults()
+	p := nn.NewParams()
+	rng := newRNG(cfg.Seed, 0x22b)
+	ccfg := cg.Config{Layers: cfg.Layers, Dim: cfg.Dim, Vocab: store.Vocab}
+	return &NeighborhoodModel{
+		Cfg:    cfg,
+		Params: p,
+		cross:  cg.NewCrossModel(p, "mnh.cross", ccfg, rng),
+		head:   nn.NewMLP(p, "mnh.head", []int{3 * cfg.Dim, cfg.Hidden, 1}, rng),
+		store:  store,
+	}
+}
+
+// logit returns the raw membership logit for (G, Q). The head sees
+// h_G || h_Q plus the squared difference (h_G - h_Q)^2, which makes the
+// closeness signal directly available.
+func (m *NeighborhoodModel) logit(g, q *graph.Graph) *autograd.Value {
+	return m.head.Apply(headFeatures(crossEncode(m.cross, m.store, g, q), m.Cfg.Dim))
+}
+
+// Prob returns the predicted probability that G is in N_Q (tape-free
+// inference path).
+func (m *NeighborhoodModel) Prob(g, q *graph.Graph) float64 {
+	cross := crossEncodeInfer(m.cross, m.store, g, q)
+	logit := m.head.Apply(headFeatures(cross, m.Cfg.Dim))
+	return sigmoid(logit.Data.At(0, 0))
+}
+
+// Predict reports whether G is predicted to be in N_Q (threshold 0.5).
+func (m *NeighborhoodModel) Predict(g, q *graph.Graph) bool {
+	return m.Prob(g, q) >= 0.5
+}
+
+// MembershipExample is one M_nh training pair.
+type MembershipExample struct {
+	Qi   int // index into the distance table's queries
+	G    int // database graph id
+	InNQ bool
+}
+
+// BuildMembershipTrainingSet labels every (training query, data graph)
+// pair by true neighborhood membership and downsamples the (dominant)
+// negative class to negRatio times the positives, per Sec. V-B1.
+func BuildMembershipTrainingSet(table *DistanceTable, gammaStar float64, negRatio float64, seed int64) []MembershipExample {
+	rng := rand.New(rand.NewSource(seed ^ 0x99))
+	var pos, neg []MembershipExample
+	for qi, row := range table.D {
+		for g, d := range row {
+			ex := MembershipExample{Qi: qi, G: g, InNQ: d <= gammaStar}
+			if ex.InNQ {
+				pos = append(pos, ex)
+			} else {
+				neg = append(neg, ex)
+			}
+		}
+	}
+	keep := int(float64(len(pos)) * negRatio)
+	if keep > len(neg) {
+		keep = len(neg)
+	}
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	out := append(pos, neg[:keep]...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Train fits M_nh with binary cross-entropy.
+func (m *NeighborhoodModel) Train(db graph.Database, table *DistanceTable, examples []MembershipExample, opts TrainOptions) error {
+	if len(examples) == 0 {
+		return errf("empty M_nh training set")
+	}
+	trainLoop(m.Params, len(examples), opts, m.Cfg.Seed, func(idx int) float64 {
+		ex := examples[idx]
+		y := 0.0
+		if ex.InNQ {
+			y = 1
+		}
+		loss := autograd.BCEWithLogits(m.logit(db[ex.G], table.Queries[ex.Qi]), binaryTargets(y))
+		autograd.Backward(loss)
+		return loss.Data.At(0, 0)
+	})
+	return nil
+}
+
+// Precision evaluates p = |N̂_Q ∩ N_Q| / |N̂_Q| over held-out queries —
+// the quantity of Lemma 2 and Fig. 8. It returns precision and the mean
+// predicted-neighborhood size.
+func (m *NeighborhoodModel) Precision(db graph.Database, table *DistanceTable, gammaStar float64) (precision, avgPredicted float64) {
+	var tp, fp, predicted int
+	for qi, q := range table.Queries {
+		row := table.D[qi]
+		for g := range db {
+			if m.Predict(db[g], q) {
+				predicted++
+				if row[g] <= gammaStar {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+	}
+	if tp+fp == 0 {
+		return 0, 0
+	}
+	return float64(tp) / float64(tp+fp), float64(predicted) / float64(len(table.Queries))
+}

@@ -1,0 +1,357 @@
+package models
+
+import (
+	"testing"
+
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/cluster"
+	"github.com/lansearch/lan/internal/dataset"
+	"github.com/lansearch/lan/internal/pg"
+	"github.com/lansearch/lan/internal/route"
+)
+
+// fixture bundles a small end-to-end training environment.
+type fixture struct {
+	spec    dataset.Spec
+	db      graph.Database
+	index   *pg.HNSW
+	metric  ged.Metric
+	table   *DistanceTable
+	gamma   float64
+	store   *CGStore
+	queries []*graph.Graph
+}
+
+func newFixture(t *testing.T, scale float64, queries int) *fixture {
+	t.Helper()
+	spec := dataset.AIDS(scale)
+	db := spec.Generate()
+	idx, err := pg.Build(db, pg.BuildConfig{M: 5, EfConstruction: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("pg.Build: %v", err)
+	}
+	metric := ged.MetricFunc(ged.Hungarian)
+	qs := dataset.Workload(db, spec, queries, 17)
+	table := ComputeDistanceTable(db, qs, metric)
+	gamma := CalibrateGammaStar(table, 10, 0.9)
+	return &fixture{
+		spec: spec, db: db, index: idx, metric: metric,
+		table: table, gamma: gamma,
+		store:   NewCGStore(db, 2, true),
+		queries: qs,
+	}
+}
+
+func TestComputeDistanceTable(t *testing.T) {
+	f := newFixture(t, 0.002, 4)
+	if len(f.table.D) != 4 || len(f.table.D[0]) != len(f.db) {
+		t.Fatalf("table shape %dx%d", len(f.table.D), len(f.table.D[0]))
+	}
+	// Spot-check against direct computation.
+	want := f.metric.Distance(f.db[3], f.queries[1])
+	if f.table.D[1][3] != want {
+		t.Fatalf("table[1][3] = %v; want %v", f.table.D[1][3], want)
+	}
+}
+
+func TestCalibrateGammaStar(t *testing.T) {
+	table := &DistanceTable{
+		D: [][]float64{
+			{1, 2, 3, 4, 5},
+			{2, 4, 6, 8, 10},
+			{1, 1, 1, 1, 1},
+		},
+	}
+	// knn=2: per-query 2nd-smallest distances are 2, 4, 1 -> sorted 1,2,4;
+	// quantile 0.9 -> index 2 -> 4.
+	if g := CalibrateGammaStar(table, 2, 0.9); g != 4 {
+		t.Fatalf("gamma* = %v; want 4", g)
+	}
+	// knn beyond row length clamps to max.
+	if g := CalibrateGammaStar(table, 100, 0); g != 1 {
+		t.Fatalf("clamped gamma* = %v; want 1", g)
+	}
+	if g := CalibrateGammaStar(&DistanceTable{}, 1, 0.9); g != 0 {
+		t.Fatalf("empty table gamma* = %v", g)
+	}
+}
+
+func TestConfigDefaultsAndHeads(t *testing.T) {
+	c := Config{}
+	c.defaults()
+	if c.Layers != 2 || c.Dim != 16 || c.BatchPercent != 20 || c.Hidden != 32 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Heads() != 5 {
+		t.Fatalf("heads = %d", c.Heads())
+	}
+	if (Config{BatchPercent: 30}).Heads() != 4 {
+		t.Fatalf("ceil heads wrong")
+	}
+}
+
+func TestCGStoreCachesByID(t *testing.T) {
+	f := newFixture(t, 0.001, 2)
+	a := f.store.For(f.db[0])
+	b := f.store.For(f.db[0])
+	if a != b {
+		t.Fatalf("database graph CG not cached")
+	}
+	q := f.queries[0]
+	qa := f.store.For(q)
+	qb := f.store.For(q)
+	if qa == qb {
+		t.Fatalf("free-standing graphs must not share cache entries")
+	}
+	// Raw-mode store produces per-node groups.
+	raw := NewCGStore(f.db, 2, false)
+	if raw.For(f.db[0]).Groups(0) != f.db[0].N() {
+		t.Fatalf("raw store compressed")
+	}
+}
+
+func TestBuildRankTrainingSetRestrictsToNeighborhood(t *testing.T) {
+	f := newFixture(t, 0.002, 5)
+	exs := BuildRankTrainingSet(f.index.PG, f.table, f.gamma)
+	if len(exs) == 0 {
+		t.Fatal("no rank training examples — gamma* too small for fixture")
+	}
+	for _, ex := range exs {
+		if f.table.D[ex.Qi][ex.Node] > f.gamma {
+			t.Fatalf("example outside neighborhood: d=%v > %v", f.table.D[ex.Qi][ex.Node], f.gamma)
+		}
+		if len(ex.Neighbors) != len(ex.Ranks) {
+			t.Fatalf("ranks/neighbors length mismatch")
+		}
+		// Ranks are a permutation of 0..n-1 consistent with distances.
+		seen := make([]bool, len(ex.Ranks))
+		for _, r := range ex.Ranks {
+			if r < 0 || r >= len(seen) || seen[r] {
+				t.Fatalf("bad rank vector %v", ex.Ranks)
+			}
+			seen[r] = true
+		}
+		for a := range ex.Neighbors {
+			for b := range ex.Neighbors {
+				da := f.table.D[ex.Qi][ex.Neighbors[a]]
+				db := f.table.D[ex.Qi][ex.Neighbors[b]]
+				if da < db && ex.Ranks[a] > ex.Ranks[b] {
+					t.Fatalf("rank order violates distances")
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborRankerLearnsToRank(t *testing.T) {
+	f := newFixture(t, 0.003, 8)
+	cfg := Config{Layers: 2, Dim: 8, BatchPercent: 20, GammaStar: f.gamma, Seed: 1}
+	r := NewNeighborRanker(cfg, f.store)
+	exs := BuildRankTrainingSet(f.index.PG, f.table, f.gamma)
+	if len(exs) > 60 {
+		exs = exs[:60]
+	}
+	before := r.RankAccuracy(f.db, f.table, exs)
+	if err := r.Train(f.db, f.table, exs, TrainOptions{Epochs: 4, LR: 0.01}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	after := r.RankAccuracy(f.db, f.table, exs)
+	if after <= before && after < 0.6 {
+		t.Fatalf("training did not improve ranking: before %.3f after %.3f", before, after)
+	}
+	t.Logf("top-batch rank accuracy: before %.3f, after %.3f", before, after)
+}
+
+func TestNeighborRankerRankerAdapter(t *testing.T) {
+	f := newFixture(t, 0.002, 3)
+	cfg := Config{Layers: 2, Dim: 6, BatchPercent: 25, GammaStar: f.gamma, Seed: 2}
+	r := NewNeighborRanker(cfg, f.store)
+	calls := 0
+	rk := r.Ranker(f.db, f.queries[0], &calls)
+
+	neighbors := f.index.PG.Neighbors(0)
+	if len(neighbors) < 2 {
+		t.Skip("node 0 too sparse")
+	}
+	// Outside the neighborhood: single batch, no model calls.
+	batches := rk.Batches(0, neighbors, f.gamma+100)
+	if len(batches) != 1 || calls != 0 {
+		t.Fatalf("outside-N_Q batches = %v, calls = %d", batches, calls)
+	}
+	// Inside: y%% batches, one model call per neighbor.
+	batches = rk.Batches(0, neighbors, 0)
+	if calls != len(neighbors) {
+		t.Fatalf("calls = %d; want %d", calls, len(neighbors))
+	}
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	if total != len(neighbors) {
+		t.Fatalf("batches lost neighbors: %v", batches)
+	}
+	if len(batches) < 2 {
+		t.Fatalf("no partitioning inside N_Q: %v", batches)
+	}
+	// The adapter must work inside np_route end to end.
+	cache := pg.NewDistCache(f.metric, f.db, f.queries[0])
+	res, stats := route.Route(f.index.PG, cache, rk, 0, route.Config{K: 3, Beam: 8})
+	if len(res) == 0 || stats.NDC == 0 {
+		t.Fatalf("np_route with learned ranker returned nothing: %v %+v", res, stats)
+	}
+}
+
+func TestMembershipTrainingSetDownsamples(t *testing.T) {
+	f := newFixture(t, 0.003, 6)
+	exs := BuildMembershipTrainingSet(f.table, f.gamma, 2, 9)
+	var pos, neg int
+	for _, ex := range exs {
+		if ex.InNQ != (f.table.D[ex.Qi][ex.G] <= f.gamma) {
+			t.Fatalf("mislabeled example")
+		}
+		if ex.InNQ {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 {
+		t.Fatal("no positives")
+	}
+	if neg > 2*pos {
+		t.Fatalf("downsampling failed: %d neg vs %d pos", neg, pos)
+	}
+}
+
+func TestNeighborhoodModelLearnsMembership(t *testing.T) {
+	f := newFixture(t, 0.003, 8)
+	cfg := Config{Layers: 2, Dim: 8, GammaStar: f.gamma, Seed: 3}
+	m := NewNeighborhoodModel(cfg, f.store)
+	exs := BuildMembershipTrainingSet(f.table, f.gamma, 2, 9)
+	if len(exs) > 200 {
+		exs = exs[:200]
+	}
+	if err := m.Train(f.db, f.table, exs, TrainOptions{Epochs: 5, LR: 0.01}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// Training accuracy on the (downsampled) set should beat chance.
+	correct := 0
+	for _, ex := range exs {
+		if m.Predict(f.db[ex.G], f.table.Queries[ex.Qi]) == ex.InNQ {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(exs))
+	if acc < 0.6 {
+		t.Fatalf("membership accuracy %.3f < 0.6", acc)
+	}
+	t.Logf("membership training accuracy %.3f", acc)
+	prec, avg := m.Precision(f.db, f.table, f.gamma)
+	t.Logf("precision %.3f, avg predicted |N̂_Q| %.1f", prec, avg)
+}
+
+func TestClusterModelPipeline(t *testing.T) {
+	f := newFixture(t, 0.003, 8)
+	emb := cluster.NewFeatureEmbedder(f.db)
+	points := make([][]float64, len(f.db))
+	for i, g := range f.db {
+		points[i] = emb.Embed(g)
+	}
+	km, err := cluster.FitKMeans(points, 6, 30, 4)
+	if err != nil {
+		t.Fatalf("FitKMeans: %v", err)
+	}
+	cfg := Config{Layers: 2, Dim: 8, GammaStar: f.gamma, Seed: 5}
+	mc := NewClusterModel(cfg, emb, km)
+
+	exs := BuildClusterTrainingSet(f.table, km, f.gamma)
+	if len(exs) != len(f.queries) {
+		t.Fatalf("%d cluster examples for %d queries", len(exs), len(f.queries))
+	}
+	// Intersections sum to |N_Q|.
+	for qi, ex := range exs {
+		want := 0.0
+		for _, d := range f.table.D[qi] {
+			if d <= f.gamma {
+				want++
+			}
+		}
+		got := 0.0
+		for _, v := range ex.Intersections {
+			got += v
+		}
+		if got != want {
+			t.Fatalf("query %d: intersections sum %v != |N_Q| %v", qi, got, want)
+		}
+	}
+	if err := mc.Train(f.table, exs, TrainOptions{Epochs: 30, LR: 0.01}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// The trained model should usually put the best cluster (largest true
+	// intersection) into its predicted top half.
+	hits := 0
+	for qi, q := range f.queries {
+		bestTrue, bestVal := 0, -1.0
+		for c, v := range exs[qi].Intersections {
+			if v > bestVal {
+				bestTrue, bestVal = c, v
+			}
+		}
+		for _, c := range mc.TopClusters(q, km.K()/2) {
+			if c == bestTrue {
+				hits++
+				break
+			}
+		}
+	}
+	if hits*2 < len(f.queries) {
+		t.Fatalf("M_c top-half hit rate %d/%d", hits, len(f.queries))
+	}
+	t.Logf("M_c top-half hit rate %d/%d", hits, len(f.queries))
+}
+
+func TestInitialSelectorEndToEnd(t *testing.T) {
+	f := newFixture(t, 0.003, 10)
+	emb := cluster.NewFeatureEmbedder(f.db)
+	points := make([][]float64, len(f.db))
+	for i, g := range f.db {
+		points[i] = emb.Embed(g)
+	}
+	km, err := cluster.FitKMeans(points, 6, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Layers: 2, Dim: 8, GammaStar: f.gamma, Seed: 6}
+	mnh := NewNeighborhoodModel(cfg, f.store)
+	mc := NewClusterModel(cfg, emb, km)
+	mexs := BuildMembershipTrainingSet(f.table, f.gamma, 2, 9)
+	if len(mexs) > 150 {
+		mexs = mexs[:150]
+	}
+	if err := mnh.Train(f.db, f.table, mexs, TrainOptions{Epochs: 4, LR: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Train(f.table, BuildClusterTrainingSet(f.table, km, f.gamma), TrainOptions{Epochs: 20, LR: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+
+	preds := 0
+	sel := &InitialSelector{Mnh: mnh, Mc: mc, TopClusters: 3, Samples: 4, Seed: 8, Predictions: &preds}
+	q := f.queries[len(f.queries)-1]
+	cache := pg.NewDistCache(f.metric, f.db, q)
+	entry := sel.Select(f.db, q, cache)
+	if entry < 0 || entry >= len(f.db) {
+		t.Fatalf("entry out of range: %d", entry)
+	}
+	if cache.NDC() > 4 {
+		t.Fatalf("selector charged %d NDC; want <= samples", cache.NDC())
+	}
+	if preds <= km.K() {
+		t.Fatalf("prediction count %d not accumulated", preds)
+	}
+	// The cluster pruning must beat the O(|D|) basic design.
+	if preds >= len(f.db)+km.K() {
+		t.Fatalf("selector predicted over the whole database: %d >= %d", preds, len(f.db))
+	}
+}

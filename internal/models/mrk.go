@@ -1,0 +1,245 @@
+package models
+
+import (
+	"sort"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/autograd"
+	"github.com/lansearch/lan/internal/cg"
+	"github.com/lansearch/lan/internal/mat"
+	"github.com/lansearch/lan/internal/nn"
+	"github.com/lansearch/lan/internal/pg"
+	"github.com/lansearch/lan/internal/route"
+)
+
+// NeighborRanker is M_rk: for the current node G and query Q it scores
+// every PG-neighbor G' by combining 100/y binary partial rankers (head i
+// predicts "G' is within the top (i+1)*y% of G's neighbors"), then orders
+// neighbors by the summed head probabilities. Inside the router it is used
+// only when the current node lies in the query's neighborhood
+// (d(G,Q) <= GammaStar); outside, all neighbors form one batch.
+type NeighborRanker struct {
+	Cfg    Config
+	Params *nn.Params
+
+	cross *cg.CrossModel // encodes (G', Q)
+	node  *cg.GINModel   // encodes the current node G
+	heads []*nn.MLP      // one binary head per partial ranker
+	store *CGStore
+}
+
+// NewNeighborRanker builds an untrained M_rk over the store's vocabulary.
+func NewNeighborRanker(cfg Config, store *CGStore) *NeighborRanker {
+	cfg.defaults()
+	p := nn.NewParams()
+	rng := newRNG(cfg.Seed, 0x11a)
+	ccfg := cg.Config{Layers: cfg.Layers, Dim: cfg.Dim, Vocab: store.Vocab}
+	r := &NeighborRanker{
+		Cfg:    cfg,
+		Params: p,
+		cross:  cg.NewCrossModel(p, "mrk.cross", ccfg, rng),
+		node:   cg.NewGINModel(p, "mrk.node", ccfg, rng),
+		store:  store,
+	}
+	in := 3 * cfg.Dim // h_{G',Q} (2*Dim) || h_G (Dim)
+	for i := 0; i < cfg.Heads(); i++ {
+		r.heads = append(r.heads, nn.NewMLP(p, headName(i), []int{in, cfg.Hidden, 1}, rng))
+	}
+	return r
+}
+
+func headName(i int) string { return "mrk.head" + string(rune('0'+i)) }
+
+// logits runs the full forward pass for one (Q, G', G) triple and returns
+// one logit per head.
+func (r *NeighborRanker) logits(q, neighbor, node *graph.Graph) []*autograd.Value {
+	hgq := crossEncode(r.cross, r.store, neighbor, q)
+	hg := r.node.Forward(r.store.For(node))
+	in := autograd.ConcatCols(hgq, hg)
+	out := make([]*autograd.Value, len(r.heads))
+	for i, h := range r.heads {
+		out[i] = h.Apply(in)
+	}
+	return out
+}
+
+// Score returns the summed head probability for one neighbor — a monotone
+// proxy for its predicted rank (higher means predicted closer to Q).
+func (r *NeighborRanker) Score(q, neighbor, node *graph.Graph) float64 {
+	hg := r.node.Embed(r.store.For(node))
+	return r.scoreWithNodeEmbedding(q, neighbor, hg)
+}
+
+// scoreWithNodeEmbedding scores a neighbor given the current node's
+// precomputed embedding (the router ranks many neighbors of one node, so
+// h_G is computed once per ranking call). Tape-free inference path.
+func (r *NeighborRanker) scoreWithNodeEmbedding(q, neighbor *graph.Graph, nodeEmb []float64) float64 {
+	hgq := crossEncodeInfer(r.cross, r.store, neighbor, q)
+	in := autograd.ConcatCols(hgq, autograd.Const(mat.FromSlice(1, len(nodeEmb), nodeEmb)))
+	s := 0.0
+	for _, h := range r.heads {
+		s += sigmoid(h.Apply(in).Data.At(0, 0))
+	}
+	return s
+}
+
+// Ranker adapts M_rk to the router: inside N_Q (dCurrent <= GammaStar)
+// neighbors are ordered by predicted score and cut into y% batches;
+// outside, a single batch disables pruning, per the paper's Sec. IV-C.
+// Calls counts model invocations for the time-breakdown experiments.
+func (r *NeighborRanker) Ranker(db graph.Database, q *graph.Graph, calls *int) route.Ranker {
+	return route.RankerFunc(func(node int, neighbors []int, dCurrent float64) [][]int {
+		if dCurrent > r.Cfg.GammaStar || len(neighbors) <= 1 {
+			return route.SplitBatches(append([]int(nil), neighbors...), 100)
+		}
+		type scored struct {
+			id    int
+			score float64
+		}
+		nodeEmb := r.node.Embed(r.store.For(db[node]))
+		ss := make([]scored, len(neighbors))
+		for i, nb := range neighbors {
+			ss[i] = scored{id: nb, score: r.scoreWithNodeEmbedding(q, db[nb], nodeEmb)}
+			if calls != nil {
+				*calls++
+			}
+		}
+		sort.SliceStable(ss, func(i, j int) bool {
+			if ss[i].score != ss[j].score {
+				return ss[i].score > ss[j].score
+			}
+			return ss[i].id < ss[j].id
+		})
+		ranked := make([]int, len(ss))
+		for i, s := range ss {
+			ranked[i] = s.id
+		}
+		return route.SplitBatches(ranked, r.Cfg.BatchPercent)
+	})
+}
+
+// RankExample is one M_rk training example: rank the neighbors of PG node
+// Node for query Qi.
+type RankExample struct {
+	Qi   int // index into the distance table's queries
+	Node int
+	// Neighbors and Ranks: Ranks[j] is the 0-based true rank of
+	// Neighbors[j] among the node's neighbors by distance to the query.
+	Neighbors []int
+	Ranks     []int
+}
+
+// BuildRankTrainingSet assembles the paper's neighborhood-restricted
+// training set: for each training query, every PG node inside N_Q
+// contributes its ranked neighbor list.
+func BuildRankTrainingSet(p *pg.PG, table *DistanceTable, gammaStar float64) []RankExample {
+	var out []RankExample
+	for qi := range table.Queries {
+		row := table.D[qi]
+		for node := 0; node < p.Len(); node++ {
+			if row[node] > gammaStar {
+				continue // train only inside the neighborhood (Sec. IV-C)
+			}
+			ns := p.Neighbors(node)
+			if len(ns) < 2 {
+				continue
+			}
+			idx := make([]int, len(ns))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				da, db := row[ns[idx[a]]], row[ns[idx[b]]]
+				if da != db {
+					return da < db
+				}
+				return ns[idx[a]] < ns[idx[b]]
+			})
+			ranks := make([]int, len(ns))
+			for rank, i := range idx {
+				ranks[i] = rank
+			}
+			out = append(out, RankExample{
+				Qi: qi, Node: node,
+				Neighbors: append([]int(nil), ns...),
+				Ranks:     ranks,
+			})
+		}
+	}
+	return out
+}
+
+// Train fits the ranker heads with binary cross-entropy per head: head i's
+// positive class is "true rank within the top (i+1)*y%".
+func (r *NeighborRanker) Train(db graph.Database, table *DistanceTable, examples []RankExample, opts TrainOptions) error {
+	if len(examples) == 0 {
+		return errf("empty M_rk training set")
+	}
+	trainLoop(r.Params, len(examples), opts, r.Cfg.Seed, func(idx int) float64 {
+		ex := examples[idx]
+		q := table.Queries[ex.Qi]
+		n := len(ex.Neighbors)
+		total := 0.0
+		for j, nb := range ex.Neighbors {
+			logits := r.logits(q, db[nb], db[ex.Node])
+			for i, logit := range logits {
+				cut := (i + 1) * r.Cfg.BatchPercent * n / 100
+				if cut < 1 {
+					cut = 1
+				}
+				y := 0.0
+				if ex.Ranks[j] < cut {
+					y = 1
+				}
+				loss := autograd.BCEWithLogits(logit, binaryTargets(y))
+				autograd.Backward(loss)
+				total += loss.Data.At(0, 0)
+			}
+		}
+		return total / float64(n*len(r.heads))
+	})
+	return nil
+}
+
+// RankAccuracy measures, over examples, the fraction of top-y% neighbors
+// (by truth) that the model also places in its top y% — the metric that
+// determines pruning safety.
+func (r *NeighborRanker) RankAccuracy(db graph.Database, table *DistanceTable, examples []RankExample) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	hit, total := 0, 0
+	for _, ex := range examples {
+		q := table.Queries[ex.Qi]
+		n := len(ex.Neighbors)
+		cut := r.Cfg.BatchPercent * n / 100
+		if cut < 1 {
+			cut = 1
+		}
+		type scored struct {
+			j     int
+			score float64
+		}
+		ss := make([]scored, n)
+		for j, nb := range ex.Neighbors {
+			ss[j] = scored{j: j, score: r.Score(q, db[nb], db[ex.Node])}
+		}
+		sort.SliceStable(ss, func(a, b int) bool { return ss[a].score > ss[b].score })
+		pred := make(map[int]bool, cut)
+		for _, s := range ss[:cut] {
+			pred[s.j] = true
+		}
+		for j := range ex.Neighbors {
+			if ex.Ranks[j] < cut {
+				total++
+				if pred[j] {
+					hit++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lansearch/lan/internal/autograd"
+	"github.com/lansearch/lan/internal/mat"
+)
+
+func TestParamsRegistry(t *testing.T) {
+	p := NewParams()
+	a := p.Add("a", mat.New(2, 3))
+	if p.Get("a") != a || p.Get("b") != nil {
+		t.Fatalf("Get broken")
+	}
+	p.Add("b", mat.New(1, 1))
+	if got := p.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+	if p.Count() != 7 {
+		t.Fatalf("Count = %d; want 7", p.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	p.Add("a", mat.New(1, 1))
+}
+
+func TestParamsSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	build := func() *Params {
+		p := NewParams()
+		NewLinear(p, "lin", 3, 2, rng)
+		NewMLP(p, "mlp", []int{4, 8, 1}, rng)
+		return p
+	}
+	p1 := build()
+	var buf bytes.Buffer
+	if err := p1.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	p2 := build() // different random init
+	if err := p2.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, n := range p1.Names() {
+		if mat.MaxAbsDiff(p1.Get(n).Data, p2.Get(n).Data) != 0 {
+			t.Fatalf("parameter %q not restored", n)
+		}
+	}
+}
+
+func TestParamsLoadErrors(t *testing.T) {
+	p := NewParams()
+	p.Add("x", mat.New(2, 2))
+	// Unknown name.
+	if err := p.Load(bytes.NewBufferString(`[{"name":"y","rows":1,"cols":1,"data":[0]}]`)); err == nil {
+		t.Fatal("no error for unknown parameter")
+	}
+	// Shape mismatch.
+	if err := p.Load(bytes.NewBufferString(`[{"name":"x","rows":1,"cols":1,"data":[0]}]`)); err == nil {
+		t.Fatal("no error for shape mismatch")
+	}
+	// Bad JSON.
+	if err := p.Load(bytes.NewBufferString(`{`)); err == nil {
+		t.Fatal("no error for bad JSON")
+	}
+}
+
+func TestLinearShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewParams()
+	l := NewLinear(p, "l", 4, 3, rng)
+	x := autograd.Const(mat.Randn(5, 4, 1, rng))
+	y := l.Apply(x)
+	if y.Data.Rows != 5 || y.Data.Cols != 3 {
+		t.Fatalf("Linear output %dx%d; want 5x3", y.Data.Rows, y.Data.Cols)
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewParams()
+	m := NewMLP(p, "xor", []int{2, 8, 1}, rng)
+	x := mat.FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	y := mat.FromSlice(4, 1, []float64{0, 1, 1, 0})
+	opt := NewAdam(0.05)
+	var loss float64
+	for epoch := 0; epoch < 400; epoch++ {
+		p.ZeroGrad()
+		logits := m.Apply(autograd.Const(x))
+		l := autograd.BCEWithLogits(logits, y)
+		autograd.Backward(l)
+		opt.Step(p)
+		loss = l.Data.At(0, 0)
+	}
+	if loss > 0.1 {
+		t.Fatalf("XOR did not converge: loss %v", loss)
+	}
+	// Predictions on the training set must be correct.
+	logits := m.Apply(autograd.Const(x))
+	for i := 0; i < 4; i++ {
+		pred := logits.Data.At(i, 0) > 0
+		want := y.At(i, 0) > 0.5
+		if pred != want {
+			t.Fatalf("XOR row %d misclassified (logit %v)", i, logits.Data.At(i, 0))
+		}
+	}
+}
+
+func TestMLPRegressionWithMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewParams()
+	m := NewMLP(p, "reg", []int{1, 16, 1}, rng)
+	// Fit y = x^2 on [-1, 1].
+	n := 32
+	x := mat.New(n, 1)
+	y := mat.New(n, 1)
+	for i := 0; i < n; i++ {
+		xv := -1 + 2*float64(i)/float64(n-1)
+		x.Set(i, 0, xv)
+		y.Set(i, 0, xv*xv)
+	}
+	opt := NewAdam(0.01)
+	var loss float64
+	for epoch := 0; epoch < 600; epoch++ {
+		p.ZeroGrad()
+		pred := m.Apply(autograd.Const(x))
+		l := autograd.MSE(pred, y)
+		autograd.Backward(l)
+		opt.Step(p)
+		loss = l.Data.At(0, 0)
+	}
+	if loss > 0.01 {
+		t.Fatalf("regression did not converge: MSE %v", loss)
+	}
+}
+
+func TestAdamWeightDecayShrinksUnusedParams(t *testing.T) {
+	p := NewParams()
+	w := p.Add("w", mat.FromSlice(1, 1, []float64{10}))
+	opt := NewAdam(0.1)
+	opt.WeightDecay = 0.1
+	for i := 0; i < 50; i++ {
+		p.ZeroGrad()
+		// Zero gradient: only decay acts.
+		w.Grad = mat.New(1, 1)
+		opt.Step(p)
+	}
+	if v := math.Abs(w.Data.At(0, 0)); v >= 10 {
+		t.Fatalf("weight decay had no effect: %v", v)
+	}
+}
+
+func TestAdamSkipsParamsWithoutGrad(t *testing.T) {
+	p := NewParams()
+	w := p.Add("w", mat.FromSlice(1, 1, []float64{5}))
+	NewAdam(0.5).Step(p)
+	if w.Data.At(0, 0) != 5 {
+		t.Fatalf("param without grad was updated")
+	}
+}
+
+func TestDecayLR(t *testing.T) {
+	opt := NewAdam(0.005)
+	opt.DecayLR(0.96)
+	if math.Abs(opt.LR-0.0048) > 1e-12 {
+		t.Fatalf("LR = %v", opt.LR)
+	}
+}
+
+func TestMLPPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMLP(NewParams(), "bad", []int{3}, rand.New(rand.NewSource(0)))
+}

@@ -1,0 +1,127 @@
+// Package pg implements proximity-graph indexes over a graph database in
+// the GED metric space: a flat navigable-small-world graph (the PG the
+// paper routes on), the hierarchical HNSW baseline with its descent-based
+// initial node selection, and the baseline greedy beam routing of
+// Algorithm 1 with the paper's exact tie-breaking rules.
+package pg
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+)
+
+// PG is a flat proximity graph: node i is db[i]; Adj[i] lists its
+// neighbors sorted by id.
+type PG struct {
+	DB  graph.Database
+	Adj [][]int
+}
+
+// Neighbors returns the PG neighbors of node id.
+func (p *PG) Neighbors(id int) []int { return p.Adj[id] }
+
+// Len returns the number of indexed graphs.
+func (p *PG) Len() int { return len(p.DB) }
+
+// Validate checks index invariants: symmetric sorted adjacency within
+// range.
+func (p *PG) Validate() error {
+	if len(p.Adj) != len(p.DB) {
+		return fmt.Errorf("pg: %d adjacency lists for %d graphs", len(p.Adj), len(p.DB))
+	}
+	for u, ns := range p.Adj {
+		for i, v := range ns {
+			if v < 0 || v >= len(p.DB) || v == u {
+				return fmt.Errorf("pg: node %d has bad neighbor %d", u, v)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("pg: adjacency of %d not strictly sorted", u)
+			}
+			if !containsSorted(p.Adj[v], u) {
+				return fmt.Errorf("pg: edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+func containsSorted(ns []int, v int) bool {
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// DistCache evaluates distances from one query to database graphs exactly
+// once, counting the number of distance computations (NDC). A fresh cache
+// is used per query; it is not safe for concurrent use.
+type DistCache struct {
+	Metric ged.Metric
+	Q      *graph.Graph
+	DB     graph.Database
+
+	memo map[int]float64
+	ndc  int
+}
+
+// NewDistCache returns a cache for distances between q and members of db.
+func NewDistCache(metric ged.Metric, db graph.Database, q *graph.Graph) *DistCache {
+	return &DistCache{Metric: metric, Q: q, DB: db, memo: make(map[int]float64)}
+}
+
+// Dist returns d(Q, db[id]), computing it at most once.
+func (c *DistCache) Dist(id int) float64 {
+	if d, ok := c.memo[id]; ok {
+		return d
+	}
+	d := c.Metric.Distance(c.DB[id], c.Q)
+	c.memo[id] = d
+	c.ndc++
+	return d
+}
+
+// Known reports whether the distance to id has already been computed.
+func (c *DistCache) Known(id int) bool {
+	_, ok := c.memo[id]
+	return ok
+}
+
+// NDC returns the number of distance computations performed so far.
+func (c *DistCache) NDC() int { return c.ndc }
+
+// Result is one k-ANN answer: a database graph id and its distance to the
+// query.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Stats aggregates the per-query search effort.
+type Stats struct {
+	// NDC is the number of GED computations.
+	NDC int
+	// Explored is the number of PG nodes whose neighborhood was (at least
+	// partially) expanded.
+	Explored int
+}
+
+// topK converts a candidate pool into the k best results (ascending
+// distance, ties by id).
+func topK(cands []Candidate, k int) []Result {
+	sorted := append([]Candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Dist != sorted[j].Dist {
+			return sorted[i].Dist < sorted[j].Dist
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	out := make([]Result, len(sorted))
+	for i, c := range sorted {
+		out[i] = Result{ID: c.ID, Dist: c.Dist}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package pg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+)
+
+// clusteredDB builds a database of c clusters: each cluster is a seed
+// molecule plus per-cluster mutants, so the GED landscape has genuine
+// neighborhood structure.
+func clusteredDB(seed int64, clusters, perCluster int) graph.Database {
+	gen := graph.NewGenerator(seed)
+	labels := []string{"C", "N", "O", "S"}
+	var gs []*graph.Graph
+	for c := 0; c < clusters; c++ {
+		base := gen.MoleculeLike(10+c%6, 1, labels, 0.4)
+		gs = append(gs, base)
+		for i := 1; i < perCluster; i++ {
+			gs = append(gs, gen.Mutate(base, 1+i%3, labels))
+		}
+	}
+	return graph.NewDatabase(gs)
+}
+
+func buildTestIndex(t *testing.T, db graph.Database) *HNSW {
+	t.Helper()
+	h, err := Build(db, BuildConfig{M: 6, EfConstruction: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return h
+}
+
+func bruteForceKNN(metric ged.Metric, db graph.Database, q *graph.Graph, k int) []Result {
+	res := make([]Result, len(db))
+	for i, g := range db {
+		res[i] = Result{ID: i, Dist: metric.Distance(g, q)}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Dist != res[j].Dist {
+			return res[i].Dist < res[j].Dist
+		}
+		return res[i].ID < res[j].ID
+	})
+	return res[:k]
+}
+
+func recallAt(got, want []Result) float64 {
+	wantSet := make(map[int]bool, len(want))
+	for _, r := range want {
+		wantSet[r.ID] = true
+	}
+	hit := 0
+	for _, r := range got {
+		if wantSet[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+func TestBuildValidatesAndConnects(t *testing.T) {
+	db := clusteredDB(1, 8, 8)
+	h := buildTestIndex(t, db)
+	if err := h.PG.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if h.PG.Len() != len(db) {
+		t.Fatalf("Len = %d; want %d", h.PG.Len(), len(db))
+	}
+	// Base layer must be a single connected component for routing to be
+	// able to reach everything (overwhelmingly likely with M=6).
+	seen := make([]bool, len(db))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range h.PG.Adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	if count != len(db) {
+		t.Fatalf("layer 0 has %d reachable of %d", count, len(db))
+	}
+	// Degree caps respected.
+	for u, ns := range h.PG.Adj {
+		if len(ns) > 12 {
+			t.Fatalf("node %d degree %d > 2M", u, len(ns))
+		}
+	}
+	for l, up := range h.Upper {
+		for u, ns := range up {
+			if len(ns) > 6 {
+				t.Fatalf("layer %d node %d degree %d > M", l+1, u, len(ns))
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, BuildConfig{}); err == nil {
+		t.Fatal("no error for empty database")
+	}
+	g := graph.New(5) // wrong ID
+	g.AddNode("A")
+	if _, err := Build(graph.Database{g}, BuildConfig{}); err == nil {
+		t.Fatal("no error for unnumbered database")
+	}
+}
+
+func TestBeamSearchFindsPlantedNeighbors(t *testing.T) {
+	db := clusteredDB(2, 10, 10)
+	h := buildTestIndex(t, db)
+	gen := graph.NewGenerator(77)
+	labels := []string{"C", "N", "O", "S"}
+	metric := ged.MetricFunc(ged.Hungarian)
+
+	recallSum := 0.0
+	queries := 10
+	for i := 0; i < queries; i++ {
+		q := gen.Mutate(db[(i*10)%len(db)], 1, labels)
+		c := NewDistCache(metric, db, q)
+		entry := h.EntryPoint(c)
+		got, stats := BeamSearch(h.PG, c, entry, 10, 40)
+		if len(got) != 10 {
+			t.Fatalf("query %d: %d results", i, len(got))
+		}
+		if stats.NDC <= 0 || stats.Explored <= 0 {
+			t.Fatalf("query %d: empty stats %+v", i, stats)
+		}
+		want := bruteForceKNN(metric, db, q, 10)
+		recallSum += recallAt(got, want)
+	}
+	if avg := recallSum / float64(queries); avg < 0.8 {
+		t.Fatalf("avg recall@10 = %v; want >= 0.8", avg)
+	}
+}
+
+func TestBeamSearchLargerBeamHigherRecallOrEqualNDC(t *testing.T) {
+	db := clusteredDB(3, 8, 8)
+	h := buildTestIndex(t, db)
+	gen := graph.NewGenerator(5)
+	labels := []string{"C", "N", "O", "S"}
+	metric := ged.MetricFunc(ged.Hungarian)
+	q := gen.Mutate(db[3], 2, labels)
+
+	c1 := NewDistCache(metric, db, q)
+	_, s1 := BeamSearch(h.PG, c1, 0, 5, 2)
+	c2 := NewDistCache(metric, db, q)
+	_, s2 := BeamSearch(h.PG, c2, 0, 5, 30)
+	if s2.NDC < s1.NDC {
+		t.Fatalf("wider beam used fewer NDC: %d < %d", s2.NDC, s1.NDC)
+	}
+}
+
+func TestBeamSearchResultsSortedAndUnique(t *testing.T) {
+	db := clusteredDB(4, 6, 6)
+	h := buildTestIndex(t, db)
+	q := graph.NewGenerator(9).MoleculeLike(10, 1, []string{"C", "N"}, 0.3)
+	c := NewDistCache(ged.MetricFunc(ged.Hungarian), db, q)
+	got, _ := BeamSearch(h.PG, c, 0, 8, 16)
+	seen := make(map[int]bool)
+	for i, r := range got {
+		if seen[r.ID] {
+			t.Fatalf("duplicate result %d", r.ID)
+		}
+		seen[r.ID] = true
+		if i > 0 && got[i-1].Dist > r.Dist {
+			t.Fatalf("results not sorted: %v", got)
+		}
+	}
+}
+
+func TestDistCacheCountsOnce(t *testing.T) {
+	db := clusteredDB(5, 2, 3)
+	calls := 0
+	metric := ged.MetricFunc(func(a, b *graph.Graph) float64 {
+		calls++
+		return ged.VJ(a, b)
+	})
+	q := db[0]
+	c := NewDistCache(metric, db, q)
+	c.Dist(1)
+	c.Dist(1)
+	c.Dist(2)
+	if calls != 2 || c.NDC() != 2 {
+		t.Fatalf("calls=%d NDC=%d; want 2, 2", calls, c.NDC())
+	}
+	if !c.Known(1) || c.Known(3) {
+		t.Fatalf("Known wrong")
+	}
+}
+
+func TestPoolTieBreaking(t *testing.T) {
+	p := NewPool()
+	p.Add(5, 1.0)
+	p.Add(3, 1.0)
+	p.Add(7, 0.5)
+	// Unexplored ties: smaller id first.
+	p.Resize(10)
+	if p.items[0].ID != 7 || p.items[1].ID != 3 || p.items[2].ID != 5 {
+		t.Fatalf("order = %v", p.items)
+	}
+	// Mark 3 explored: unexplored 5 outranks it at the same distance.
+	p.MarkExplored(3)
+	p.Resize(10)
+	if p.items[1].ID != 5 || p.items[2].ID != 3 {
+		t.Fatalf("explored tie-break wrong: %v", p.items)
+	}
+	// Two explored at the same distance: more recent first.
+	p.MarkExplored(5)
+	p.Resize(10)
+	if p.items[1].ID != 5 || p.items[2].ID != 3 {
+		t.Fatalf("recency tie-break wrong: %v", p.items)
+	}
+	// Resize drops the lowest priority and removes membership.
+	p.Resize(2)
+	if len(p.items) != 2 || p.inW[3] {
+		t.Fatalf("resize wrong: %v inW=%v", p.items, p.inW)
+	}
+	// Re-adding a dropped node keeps its explored state.
+	p.Add(3, 1.0)
+	if !p.Explored(3) {
+		t.Fatalf("explored state lost on re-add")
+	}
+	// Best considers explored nodes too.
+	if c, ok := p.Best(); !ok || c.ID != 7 {
+		t.Fatalf("Best = %v, %v", c, ok)
+	}
+}
+
+func TestPoolNextUnexplored(t *testing.T) {
+	p := NewPool()
+	if _, ok := p.NextUnexplored(); ok {
+		t.Fatal("empty pool returned a candidate")
+	}
+	if _, ok := p.Best(); ok {
+		t.Fatal("empty pool returned a best")
+	}
+	p.Add(2, 3.0)
+	p.Add(9, 1.0)
+	c, ok := p.NextUnexplored()
+	if !ok || c.ID != 9 {
+		t.Fatalf("NextUnexplored = %v, %v", c, ok)
+	}
+	if _, ok := p.NextUnexploredWithin(0.5); ok {
+		t.Fatal("gamma filter failed")
+	}
+	if c, ok := p.NextUnexploredWithin(1.0); !ok || c.ID != 9 {
+		t.Fatalf("within gamma = %v, %v", c, ok)
+	}
+	p.MarkExplored(9)
+	p.MarkExplored(2)
+	if !p.AllExplored() {
+		t.Fatal("AllExplored false after exploring everything")
+	}
+}
+
+func TestEntryPointDescendsToNearbyNode(t *testing.T) {
+	db := clusteredDB(6, 10, 10)
+	h := buildTestIndex(t, db)
+	metric := ged.MetricFunc(ged.Hungarian)
+	gen := graph.NewGenerator(11)
+	labels := []string{"C", "N", "O", "S"}
+
+	// The HNSW entry point should on average be closer than a random node.
+	rng := rand.New(rand.NewSource(3))
+	var entrySum, randSum float64
+	for i := 0; i < 10; i++ {
+		q := gen.Mutate(db[rng.Intn(len(db))], 2, labels)
+		c := NewDistCache(metric, db, q)
+		ep := h.EntryPoint(c)
+		entrySum += c.Dist(ep)
+		randSum += c.Dist(rng.Intn(len(db)))
+	}
+	if entrySum > randSum {
+		t.Fatalf("HNSW entry (avg %v) no better than random (avg %v)", entrySum/10, randSum/10)
+	}
+}
+
+func TestSearchLayerReturnsAscending(t *testing.T) {
+	db := clusteredDB(7, 4, 6)
+	h := buildTestIndex(t, db)
+	q := db[0]
+	c := NewDistCache(ged.MetricFunc(ged.VJ), db, q)
+	res := searchLayer(c, h.PG.Neighbors, 5, 8)
+	if len(res) == 0 {
+		t.Fatal("empty result")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Dist > res[i].Dist {
+			t.Fatalf("not ascending: %v", res)
+		}
+	}
+}

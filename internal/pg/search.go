@@ -1,0 +1,201 @@
+package pg
+
+import "sort"
+
+// Candidate is an entry of the pool W: a database graph and its distance
+// to the query.
+type Candidate struct {
+	ID   int
+	Dist float64
+}
+
+// Pool is the candidate priority pool W shared by the baseline routing
+// (Algorithm 1) and np_route (Algorithm 2), with the paper's tie-breaking:
+// ascending distance; on ties an unexplored node outranks an explored one,
+// two explored nodes rank by recency of exploration, and two unexplored
+// nodes rank by smaller id. Exploration state is remembered for the whole
+// query, so nodes dropped from W stay explored if they return.
+type Pool struct {
+	items []Candidate
+	inW   map[int]bool
+	// exploredSeq[id] is the exploration timestamp (1, 2, ...); absent
+	// means unexplored.
+	exploredSeq map[int]int
+	seq         int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{inW: make(map[int]bool), exploredSeq: make(map[int]int)}
+}
+
+// Add inserts id into W unless already present.
+func (p *Pool) Add(id int, dist float64) {
+	if p.inW[id] {
+		return
+	}
+	p.inW[id] = true
+	p.items = append(p.items, Candidate{ID: id, Dist: dist})
+}
+
+// MarkExplored stamps id with the next exploration timestamp.
+func (p *Pool) MarkExplored(id int) {
+	p.seq++
+	p.exploredSeq[id] = p.seq
+}
+
+// Explored reports whether id has ever been explored in this query.
+func (p *Pool) Explored(id int) bool {
+	_, ok := p.exploredSeq[id]
+	return ok
+}
+
+// less implements the paper's resize priority.
+func (p *Pool) less(a, b Candidate) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	sa, ea := p.exploredSeq[a.ID]
+	sb, eb := p.exploredSeq[b.ID]
+	switch {
+	case ea != eb:
+		return !ea // unexplored first
+	case ea && eb:
+		return sa > sb // more recently explored first
+	default:
+		return a.ID < b.ID
+	}
+}
+
+// Resize keeps the b highest-priority candidates.
+func (p *Pool) Resize(b int) {
+	sort.Slice(p.items, func(i, j int) bool { return p.less(p.items[i], p.items[j]) })
+	if len(p.items) > b {
+		for _, c := range p.items[b:] {
+			delete(p.inW, c.ID)
+		}
+		p.items = p.items[:b]
+	}
+}
+
+// Best returns the candidate with the smallest distance (ties by id)
+// regardless of exploration state, or ok=false on an empty pool.
+func (p *Pool) Best() (Candidate, bool) {
+	best := Candidate{}
+	found := false
+	for _, c := range p.items {
+		if !found || c.Dist < best.Dist || (c.Dist == best.Dist && c.ID < best.ID) {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// NextUnexplored returns the unexplored candidate with the smallest
+// distance (ties by id), or ok=false.
+func (p *Pool) NextUnexplored() (Candidate, bool) {
+	best := Candidate{}
+	found := false
+	for _, c := range p.items {
+		if p.Explored(c.ID) {
+			continue
+		}
+		if !found || c.Dist < best.Dist || (c.Dist == best.Dist && c.ID < best.ID) {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// NextUnexploredWithin is NextUnexplored restricted to distance <= gamma.
+func (p *Pool) NextUnexploredWithin(gamma float64) (Candidate, bool) {
+	c, ok := p.NextUnexplored()
+	if !ok || c.Dist > gamma {
+		return Candidate{}, false
+	}
+	return c, true
+}
+
+// AllExplored reports whether every candidate in W has been explored.
+func (p *Pool) AllExplored() bool {
+	_, ok := p.NextUnexplored()
+	return !ok
+}
+
+// TopK returns the k best candidates by (distance, id).
+func (p *Pool) TopK(k int) []Result {
+	return topK(p.items, k)
+}
+
+// BeamSearch is Algorithm 1: the baseline greedy routing on the proximity
+// graph. It starts at entry, explores the unexplored pool node closest to
+// the query, computes distances for all its PG neighbors, and keeps the
+// best b candidates, stopping when every pool member is explored. It
+// returns the k best along with search statistics.
+func BeamSearch(p *PG, c *DistCache, entry, k, b int) ([]Result, Stats) {
+	w := NewPool()
+	w.Add(entry, c.Dist(entry))
+	explored := 0
+	for {
+		cur, ok := w.NextUnexplored()
+		if !ok {
+			break
+		}
+		for _, nb := range p.Neighbors(cur.ID) {
+			w.Add(nb, c.Dist(nb))
+		}
+		w.MarkExplored(cur.ID)
+		explored++
+		w.Resize(b)
+	}
+	return w.TopK(k), Stats{NDC: c.NDC(), Explored: explored}
+}
+
+// searchLayer is the standard ef-search used during index construction:
+// greedy best-first expansion bounded by an ef-sized result set, over an
+// arbitrary adjacency function.
+func searchLayer(c *DistCache, neighbors func(int) []int, entry int, ef int) []Candidate {
+	visited := map[int]bool{entry: true}
+	entryCand := Candidate{ID: entry, Dist: c.Dist(entry)}
+	cands := []Candidate{entryCand}   // frontier, ascending
+	results := []Candidate{entryCand} // best ef, ascending
+	for len(cands) > 0 {
+		cur := cands[0]
+		cands = cands[1:]
+		worst := results[len(results)-1]
+		if cur.Dist > worst.Dist && len(results) >= ef {
+			break
+		}
+		for _, nb := range neighbors(cur.ID) {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := c.Dist(nb)
+			if len(results) < ef || d < results[len(results)-1].Dist {
+				nc := Candidate{ID: nb, Dist: d}
+				cands = insertAsc(cands, nc)
+				results = insertAsc(results, nc)
+				if len(results) > ef {
+					results = results[:ef]
+				}
+			}
+		}
+	}
+	return results
+}
+
+func insertAsc(s []Candidate, c Candidate) []Candidate {
+	i := sort.Search(len(s), func(i int) bool {
+		if s[i].Dist != c.Dist {
+			return s[i].Dist > c.Dist
+		}
+		return s[i].ID > c.ID
+	})
+	s = append(s, Candidate{})
+	copy(s[i+1:], s[i:])
+	s[i] = c
+	return s
+}

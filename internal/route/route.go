@@ -1,0 +1,283 @@
+// Package route implements the paper's Sec. IV: routing with neighbor
+// pruning on a proximity graph (np_route, Algorithms 2-4). At each routing
+// step the current node's PG-neighbors are ranked into batches of y% each
+// by a Ranker — an oracle or a learned model — and batches are opened
+// lazily under a growing GED threshold, so distances to unpromising
+// neighbors are never computed. With an oracle ranker the search results
+// provably equal the baseline beam search while NDC never increases
+// (Lemma 1, Theorem 1).
+package route
+
+import (
+	"sort"
+
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/internal/pg"
+)
+
+// Ranker orders the PG-neighbors of a node by predicted proximity to the
+// query and partitions them into batches (B_0 holds the predicted-closest
+// y% and so on). dCurrent is the known distance from the query to the node
+// whose neighbors are ranked — learned rankers use it to fall back to a
+// single batch outside the query's neighborhood.
+type Ranker interface {
+	Batches(node int, neighbors []int, dCurrent float64) [][]int
+}
+
+// RankerFunc adapts a function to the Ranker interface.
+type RankerFunc func(node int, neighbors []int, dCurrent float64) [][]int
+
+// Batches implements Ranker.
+func (f RankerFunc) Batches(node int, neighbors []int, dCurrent float64) [][]int {
+	return f(node, neighbors, dCurrent)
+}
+
+// OracleRanker ranks neighbors by their true distance to the query without
+// charging distance computations — the idealized ranker of Sec. IV-A used
+// to analyze np_route. BatchPercent is the paper's y (default 20).
+type OracleRanker struct {
+	Cache        *pg.DistCache // read-only view of the database and query
+	BatchPercent int
+	// RankMetric, when set, replaces the cache's metric for ranking.
+	// Wall-clock benchmarks set a cheap approximation here so that the
+	// hypothetical "negligible time" of the oracle is not simulated with
+	// the full query metric; correctness analyses leave it nil.
+	RankMetric ged.Metric
+}
+
+// Batches implements Ranker by true-distance sorting.
+func (o *OracleRanker) Batches(node int, neighbors []int, dCurrent float64) [][]int {
+	ranked := append([]int(nil), neighbors...)
+	metric := o.RankMetric
+	if metric == nil {
+		metric = o.Cache.Metric
+	}
+	d := func(id int) float64 { return metric.Distance(o.Cache.DB[id], o.Cache.Q) }
+	sort.SliceStable(ranked, func(i, j int) bool {
+		di, dj := d(ranked[i]), d(ranked[j])
+		if di != dj {
+			return di < dj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return SplitBatches(ranked, o.BatchPercent)
+}
+
+// SplitBatches partitions an already-ranked neighbor list into batches of
+// percent% each (at least one neighbor per batch).
+func SplitBatches(ranked []int, percent int) [][]int {
+	if percent <= 0 || percent > 100 {
+		percent = 20
+	}
+	n := len(ranked)
+	if n == 0 {
+		return nil
+	}
+	size := (n*percent + 99) / 100
+	if size < 1 {
+		size = 1
+	}
+	var batches [][]int
+	for i := 0; i < n; i += size {
+		end := i + size
+		if end > n {
+			end = n
+		}
+		batches = append(batches, ranked[i:end])
+	}
+	return batches
+}
+
+// Config holds np_route's parameters.
+type Config struct {
+	// K is the number of answers.
+	K int
+	// Beam is b, the candidate pool size.
+	Beam int
+	// StepSize is d_s, the threshold increment between supersteps
+	// (default 1 — GED is integral under unit costs).
+	StepSize float64
+}
+
+func (c *Config) defaults() {
+	if c.K <= 0 {
+		c.K = 1
+	}
+	if c.Beam < c.K {
+		c.Beam = c.K
+	}
+	if c.StepSize <= 0 {
+		c.StepSize = 1
+	}
+}
+
+// Stats reports the routing effort.
+type Stats struct {
+	// NDC is the number of distance computations.
+	NDC int
+	// Explored counts nodes whose neighbors were (partially) explored.
+	Explored int
+	// RankerCalls counts neighbor-ranking invocations (model inferences
+	// happen inside these).
+	RankerCalls int
+	// BatchesOpened counts opened neighbor batches across all nodes.
+	BatchesOpened int
+}
+
+// nodeState tracks the batch progress of one PG node during a query.
+type nodeState struct {
+	batches [][]int
+	opened  int
+}
+
+// router carries the per-query state of np_route.
+type router struct {
+	pg     *pg.PG
+	cache  *pg.DistCache
+	ranker Ranker
+	cfg    Config
+
+	w        *pg.Pool
+	states   map[int]*nodeState
+	explored []int // exploration order
+	stats    Stats
+}
+
+// state lazily ranks and batches the neighbors of node id.
+func (r *router) state(id int, dCurrent float64) *nodeState {
+	if s, ok := r.states[id]; ok {
+		return s
+	}
+	s := &nodeState{batches: r.ranker.Batches(id, r.pg.Neighbors(id), dCurrent)}
+	r.stats.RankerCalls++
+	r.states[id] = s
+	return s
+}
+
+// farthestOpened returns the largest known distance among the members of
+// the opened batches of s (-inf when none opened).
+func (r *router) farthestOpened(s *nodeState) (float64, bool) {
+	found := false
+	far := 0.0
+	for _, b := range s.batches[:s.opened] {
+		for _, id := range b {
+			if d := r.cache.Dist(id); !found || d > far {
+				far, found = d, true
+			}
+		}
+	}
+	return far, found
+}
+
+// openBatch computes distances for batch j of s and adds its members to W.
+// It returns true when the batch contains a member with d >= gamma (the
+// caller must stop opening).
+func (r *router) openBatch(s *nodeState, j int, gamma float64) bool {
+	hitThreshold := false
+	for _, id := range s.batches[j] {
+		d := r.cache.Dist(id)
+		r.w.Add(id, d)
+		if d >= gamma {
+			hitThreshold = true
+		}
+	}
+	s.opened = j + 1
+	r.stats.BatchesOpened++
+	return hitThreshold
+}
+
+// rankExpl is Algorithm 4: open further batches of node id while the
+// farthest already-known opened neighbor is still below gamma, stopping
+// after the first batch that reaches it.
+func (r *router) rankExpl(id int, gamma, dCurrent float64) {
+	s := r.state(id, dCurrent)
+	if far, ok := r.farthestOpened(s); ok && far >= gamma {
+		return
+	}
+	for j := s.opened; j < len(s.batches); j++ {
+		if r.openBatch(s, j, gamma) {
+			return
+		}
+	}
+}
+
+// allQualiNeigh is Algorithm 3: make sure every neighbor of explored node
+// id with distance below gamma is in W — re-adding known members of opened
+// batches and opening new batches as needed.
+func (r *router) allQualiNeigh(id int, gamma float64) {
+	s := r.states[id] // explored nodes always have state
+	for j := 0; j < s.opened; j++ {
+		hit := false
+		for _, nb := range s.batches[j] {
+			d := r.cache.Dist(nb) // known: batch was opened
+			r.w.Add(nb, d)
+			if d >= gamma {
+				hit = true
+			}
+		}
+		if hit {
+			return
+		}
+	}
+	for j := s.opened; j < len(s.batches); j++ {
+		if r.openBatch(s, j, gamma) {
+			return
+		}
+	}
+}
+
+// markExplored stamps a node as explored in both the pool and the order
+// log.
+func (r *router) markExplored(id int) {
+	r.w.MarkExplored(id)
+	r.explored = append(r.explored, id)
+	r.stats.Explored++
+}
+
+// Route runs np_route (Algorithm 2) from the given entry node and returns
+// the k-ANNs with routing statistics.
+func Route(p *pg.PG, cache *pg.DistCache, ranker Ranker, entry int, cfg Config) ([]pg.Result, Stats) {
+	cfg.defaults()
+	r := &router{
+		pg: p, cache: cache, ranker: ranker, cfg: cfg,
+		w: pg.NewPool(), states: make(map[int]*nodeState),
+	}
+
+	// Stage 1 (Lines 1-12): greedy descent without backtracking until the
+	// first local optimum.
+	r.w.Add(entry, cache.Dist(entry))
+	cur, _ := r.w.Best()
+	for !r.w.Explored(cur.ID) {
+		r.rankExpl(cur.ID, cur.Dist, cur.Dist)
+		r.markExplored(cur.ID)
+		r.w.Resize(cfg.Beam)
+		cur, _ = r.w.Best()
+	}
+
+	// Stage 2 (Lines 13-29): backtracking supersteps under a growing
+	// threshold gamma.
+	flo, _ := r.w.Best()
+	gamma := flo.Dist + cfg.StepSize
+	for {
+		for _, id := range append([]int(nil), r.explored...) {
+			r.allQualiNeigh(id, gamma)
+		}
+		r.w.Resize(cfg.Beam)
+		if r.w.AllExplored() {
+			break
+		}
+		for {
+			c, ok := r.w.NextUnexploredWithin(gamma)
+			if !ok {
+				break
+			}
+			r.rankExpl(c.ID, gamma, c.Dist)
+			r.markExplored(c.ID)
+			r.w.Resize(cfg.Beam)
+		}
+		gamma += cfg.StepSize
+	}
+
+	r.stats.NDC = cache.NDC()
+	return r.w.TopK(cfg.K), r.stats
+}

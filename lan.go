@@ -1,0 +1,211 @@
+// Package lan is a learning-based approximate k-nearest-neighbor search
+// engine for graph databases under graph edit distance (GED), implementing
+// Peng et al., "LAN: Learning-based Approximate k-Nearest Neighbor Search
+// in Graph Databases" (ICDE 2022).
+//
+// A LAN index combines three components built offline:
+//
+//   - a proximity graph over the database (an HNSW whose base layer is the
+//     PG that queries route on),
+//   - a neighbor-ranking model M_rk that lets the router skip GED
+//     computations to unpromising PG neighbors (routing with neighbor
+//     pruning), and
+//   - initial-node models M_c and M_nh that start the routing inside the
+//     query's GED neighborhood.
+//
+// All graph learning runs on compressed GNN-graphs, which provably
+// preserve the uncompressed results while skipping redundant computation.
+//
+// Basic usage:
+//
+//	db := graph.NewDatabase(myGraphs)
+//	index, err := lan.Build(db, trainingQueries, lan.Options{})
+//	results, stats, err := index.Search(query, lan.SearchOptions{K: 10})
+//
+// The zero Options value picks sensible defaults for databases of a few
+// thousand graphs. Build cost is dominated by proximity-graph construction
+// and ground-truth distances for the training queries; both are offline
+// and reported by the paper as such.
+package lan
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/core"
+	"github.com/lansearch/lan/internal/models"
+)
+
+// Options configure Build. The zero value is usable.
+type Options struct {
+	// M is the proximity-graph degree parameter (default 8; base layer
+	// allows 2M neighbors).
+	M int
+	// EfConstruction is the construction beam width (default 2M).
+	EfConstruction int
+	// BuildMetric is the GED used during offline index construction
+	// (default: the Riesen-Bunke bipartite upper bound, ged.Hungarian —
+	// fast). The proximity graph inherits this metric's geometry, so
+	// BuildMetric should approximate QueryMetric: pairing a loose build
+	// bound with a tight query metric bends the index away from the
+	// neighborhoods queries care about and costs recall. When QueryMetric
+	// is a ged.Ensemble, a cheap ensemble (ged.Ensemble{BeamWidth: 2})
+	// is the recommended build metric.
+	BuildMetric ged.Metric
+	// QueryMetric is the GED used to answer queries (default
+	// ged.Hungarian; use a ged.Ensemble for higher-fidelity distances).
+	QueryMetric ged.Metric
+	// Layers and Dim shape the GNN models (defaults 2 and 16).
+	Layers, Dim int
+	// BatchPercent is the paper's y: the share of a node's neighbors
+	// ranked into each pruning batch (default 20).
+	BatchPercent int
+	// DisableCG turns off the compressed-GNN-graph acceleration
+	// (Sec. VI); leave false outside ablation studies.
+	DisableCG bool
+	// GammaKNN and GammaQuantile calibrate the neighborhood radius
+	// gamma*: for GammaQuantile of the training queries, the
+	// neighborhood contains their GammaKNN nearest neighbors (defaults
+	// 20 and 0.9).
+	GammaKNN      int
+	GammaQuantile float64
+	// Clusters, TopClusters and Samples control learned initial-node
+	// selection (defaults |D|/16, 3 and 4).
+	Clusters, TopClusters, Samples int
+	// Epochs and LR control model training (defaults 30 and 0.005, with
+	// the paper's x0.96-every-5-epochs decay).
+	Epochs int
+	LR     float64
+	// StepSize is the routing threshold increment d_s (default 1).
+	StepSize float64
+	// Seed makes builds reproducible.
+	Seed int64
+}
+
+// SearchOptions configure one query.
+type SearchOptions struct {
+	// K is the number of neighbors to return (required).
+	K int
+	// Beam is the candidate pool size b; larger trades speed for recall
+	// (default K).
+	Beam int
+	// Initial selects the entry-node strategy (default LANIS).
+	Initial InitialStrategy
+	// Routing selects the routing algorithm (default LANRoute).
+	Routing RoutingStrategy
+}
+
+// InitialStrategy selects how the routing entry node is chosen.
+type InitialStrategy = core.InitialStrategy
+
+// Initial-node strategies.
+const (
+	// LANIS is the paper's learned initial selection (M_c + M_nh).
+	LANIS = core.LANIS
+	// HNSWIS descends the HNSW hierarchy.
+	HNSWIS = core.HNSWIS
+	// RandIS picks a deterministic pseudo-random entry.
+	RandIS = core.RandIS
+)
+
+// RoutingStrategy selects the routing algorithm.
+type RoutingStrategy = core.RoutingStrategy
+
+// Routing strategies.
+const (
+	// LANRoute is np_route with the learned ranker M_rk.
+	LANRoute = core.LANRoute
+	// BaselineRoute explores every neighbor (Algorithm 1).
+	BaselineRoute = core.BaselineRoute
+	// OracleRoute is np_route with a true-distance oracle ranker.
+	OracleRoute = core.OracleRoute
+)
+
+// Result is one answer: a database graph id and its distance to the
+// query.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Stats report a query's cost; NDC (the number of GED computations) is
+// the paper's primary efficiency metric.
+type Stats = core.QueryStats
+
+// Index is a built LAN search structure. It is safe for concurrent
+// Search calls only if the configured metrics are (the defaults are).
+type Index struct {
+	engine *core.Engine
+}
+
+// Build constructs the proximity graph over db and trains the LAN models
+// on trainQueries (historical queries, or graphs sampled and perturbed
+// from the database — see the dataset helpers). db must be numbered by
+// graph.NewDatabase.
+func Build(db graph.Database, trainQueries []*graph.Graph, o Options) (*Index, error) {
+	eng, err := core.Build(db, trainQueries, core.Options{
+		M: o.M, EfConstruction: o.EfConstruction,
+		BuildMetric: o.BuildMetric, QueryMetric: o.QueryMetric,
+		Layers: o.Layers, Dim: o.Dim, BatchPercent: o.BatchPercent,
+		UseCG:    !o.DisableCG,
+		GammaKNN: o.GammaKNN, GammaQuantile: o.GammaQuantile,
+		Clusters: o.Clusters, TopClusters: o.TopClusters, Samples: o.Samples,
+		Train:    trainOptions(o),
+		StepSize: o.StepSize,
+		Seed:     o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{engine: eng}, nil
+}
+
+// Search returns the approximate k nearest neighbors of q.
+func (x *Index) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
+	if q == nil || so.K <= 0 {
+		return nil, Stats{}, fmt.Errorf("lan: need a query graph and K > 0")
+	}
+	res, stats := x.engine.Search(q, core.SearchOptions{
+		K: so.K, Beam: so.Beam, Initial: so.Initial, Routing: so.Routing,
+	})
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out, stats, nil
+}
+
+// Save writes the trained index (proximity graph, calibration, clustering
+// and model parameters) to w. The database itself is not included; store
+// it separately (e.g. with graph.WriteText) and re-supply it to Load.
+func (x *Index) Save(w io.Writer) error { return x.engine.Save(w) }
+
+// Load restores an index saved with Save over the same database. The GED
+// metrics are code and must be re-supplied via Options (zero-value
+// defaults match Build's).
+func Load(db graph.Database, r io.Reader, o Options) (*Index, error) {
+	eng, err := core.Load(db, r, core.Options{
+		BuildMetric: o.BuildMetric, QueryMetric: o.QueryMetric,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{engine: eng}, nil
+}
+
+// Len returns the number of indexed graphs.
+func (x *Index) Len() int { return len(x.engine.DB) }
+
+// GammaStar returns the calibrated neighborhood radius gamma*.
+func (x *Index) GammaStar() float64 { return x.engine.GammaStar }
+
+// Graph returns the indexed graph with the given id.
+func (x *Index) Graph(id int) *graph.Graph { return x.engine.DB[id] }
+
+func trainOptions(o Options) (t models.TrainOptions) {
+	t.Epochs = o.Epochs
+	t.LR = o.LR
+	return t
+}

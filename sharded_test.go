@@ -1,0 +1,115 @@
+package lan
+
+import (
+	"testing"
+
+	"github.com/lansearch/lan/internal/dataset"
+	"github.com/lansearch/lan/internal/pg"
+)
+
+func toPGResults(res []Result) []pg.Result {
+	out := make([]pg.Result, len(res))
+	for i, r := range res {
+		out[i] = pg.Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+func TestShardedIndexMatchesGlobalTopK(t *testing.T) {
+	spec := dataset.AIDS(0.005)
+	db := spec.Generate()
+	queries := dataset.Workload(db, spec, 20, 3)
+	train, _, test := dataset.Split(queries)
+
+	sharded, err := BuildSharded(db, train, ShardedOptions{
+		ShardSize: 80,
+		Options:   Options{M: 5, Dim: 8, GammaKNN: 5, Epochs: 2, Seed: 4},
+	})
+	if err != nil {
+		t.Fatalf("BuildSharded: %v", err)
+	}
+	if sharded.Len() != len(db) {
+		t.Fatalf("Len = %d; want %d", sharded.Len(), len(db))
+	}
+	if sharded.Shards() < 2 {
+		t.Fatalf("expected multiple shards, got %d", sharded.Shards())
+	}
+
+	for qi, q := range test {
+		res, stats, err := sharded.Search(q, SearchOptions{K: 5, Beam: 16})
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if len(res) != 5 {
+			t.Fatalf("query %d: %d results", qi, len(res))
+		}
+		if stats.NDC <= 0 {
+			t.Fatalf("query %d: no NDC", qi)
+		}
+		// Global ids must resolve and be sorted by distance.
+		for i, r := range res {
+			if r.ID < 0 || r.ID >= len(db) {
+				t.Fatalf("query %d: id %d out of range", qi, r.ID)
+			}
+			if i > 0 && res[i-1].Dist > r.Dist {
+				t.Fatalf("query %d: unsorted %v", qi, res)
+			}
+		}
+	}
+}
+
+func TestShardedSearchRecall(t *testing.T) {
+	spec := dataset.AIDS(0.005)
+	db := spec.Generate()
+	queries := dataset.Workload(db, spec, 20, 3)
+	train, _, test := dataset.Split(queries)
+	sharded, err := BuildSharded(db, train, ShardedOptions{
+		ShardSize: 80,
+		Options:   Options{M: 5, Dim: 8, GammaKNN: 5, Epochs: 2, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise the sharding machinery with the deterministic strategies so
+	// the assertion is about fan-out/merge, not learned-model quality.
+	eng := sharded.shards[0].engine
+	var recall float64
+	for _, q := range test {
+		truth := dataset.BruteForceKNN(db, q, eng.Opts.QueryMetric, 5)
+		res, _, err := sharded.Search(q, SearchOptions{K: 5, Beam: 48, Initial: HNSWIS, Routing: BaselineRoute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recall += dataset.Recall(toPGResults(res), truth)
+	}
+	recall /= float64(len(test))
+	if recall < 0.8 {
+		t.Fatalf("sharded recall@5 = %.3f < 0.8", recall)
+	}
+	t.Logf("sharded recall@5 = %.3f", recall)
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := BuildSharded(nil, nil, ShardedOptions{}); err == nil {
+		t.Fatal("empty db accepted")
+	}
+	spec := dataset.AIDS(0.002)
+	db := spec.Generate()
+	queries := dataset.Workload(db, spec, 10, 3)
+	sharded, err := BuildSharded(db, queries, ShardedOptions{
+		ShardSize: 1000, // one shard
+		Options:   Options{M: 4, Dim: 6, GammaKNN: 5, Epochs: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 1 {
+		t.Fatalf("shards = %d; want 1", sharded.Shards())
+	}
+	if _, _, err := sharded.Search(nil, SearchOptions{K: 1}); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	if _, _, err := sharded.Search(queries[0], SearchOptions{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
