@@ -3,18 +3,31 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments examples clean
+.PHONY: all build vet lint test race bench experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Repo-specific invariants (float equality, global rand, library panics,
+# matrix dimensions); see DESIGN.md "Static analysis & determinism policy".
+lint:
+	$(GO) run ./cmd/lan-lint ./...
 
 test:
 	$(GO) test ./...
+
+# Race-detect the concurrent paths (sharded search, distance-table and
+# ground-truth fan-outs) on the fast test subset.
+race:
+	$(GO) test -race -short ./...
 
 # One benchmark per paper table/figure plus ablations; see DESIGN.md.
 bench:

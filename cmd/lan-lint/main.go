@@ -1,0 +1,78 @@
+// Command lan-lint runs the project's static-analysis suite (package
+// internal/analysis) over the given package patterns and exits nonzero
+// when any finding survives the //lint:allow suppressions. It enforces
+// the determinism and robustness invariants LAN's exactness claims rest
+// on; see DESIGN.md, "Static analysis & determinism policy".
+//
+// Usage:
+//
+//	lan-lint [-run floatcmp,globalrand,libpanic,matdim] [packages...]
+//
+// With no package arguments it analyzes ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/lansearch/lan/internal/analysis"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lan-lint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		analyzers, err = analysis.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(relativize(cwd, f.String()))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lan-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// relativize trims the working directory prefix from a finding line so
+// output is readable and stable across checkouts.
+func relativize(cwd, s string) string {
+	return strings.TrimPrefix(s, cwd+string(os.PathSeparator))
+}

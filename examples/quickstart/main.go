@@ -69,8 +69,13 @@ func main() {
 		exact[i] = pair{i, ged.Hungarian(g, query)}
 	}
 	sort.Slice(exact, func(i, j int) bool {
-		if exact[i].d != exact[j].d {
-			return exact[i].d < exact[j].d
+		// Strict < / > comparisons only: ties fall through to the id
+		// tie-break, keeping the baseline ranking deterministic.
+		if exact[i].d < exact[j].d {
+			return true
+		}
+		if exact[i].d > exact[j].d {
+			return false
 		}
 		return exact[i].id < exact[j].id
 	})

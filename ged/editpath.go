@@ -59,10 +59,11 @@ func (k EditKind) String() string {
 // returned by ExactMapping): applying the script to g yields a graph
 // isomorphic to h, and its length equals MappingCost(g, h, phi) — so with
 // an optimal mapping it is a minimum edit script. The script is returned
-// in apply order.
-func EditPath(g, h *graph.Graph, phi []int) []EditOp {
+// in apply order. It returns an error when phi's length does not match
+// g's node count.
+func EditPath(g, h *graph.Graph, phi []int) ([]EditOp, error) {
 	if len(phi) != g.N() {
-		panic(fmt.Sprintf("ged: EditPath: mapping of length %d for %d nodes", len(phi), g.N()))
+		return nil, fmt.Errorf("ged: EditPath: mapping of length %d for %d nodes", len(phi), g.N())
 	}
 	var ops []EditOp
 
@@ -156,7 +157,7 @@ func EditPath(g, h *graph.Graph, phi []int) []EditOp {
 			ops = append(ops, EditOp{Kind: InsertEdge, U: newID[e[0]], V: newID[e[1]]})
 		}
 	}
-	return ops
+	return ops, nil
 }
 
 // Apply executes an edit script on a copy of g and returns the result.

@@ -16,7 +16,10 @@ func TestEditPathRoundTripRandomPairs(t *testing.T) {
 		if !ok {
 			t.Fatalf("trial %d: exact search failed", trial)
 		}
-		ops := EditPath(g, h, phi)
+		ops, err := EditPath(g, h, phi)
+		if err != nil {
+			t.Fatalf("trial %d: EditPath: %v", trial, err)
+		}
 		// The script's length is exactly the edit cost of the mapping —
 		// with an optimal mapping, a minimum edit script.
 		if float64(len(ops)) != d {
@@ -35,7 +38,11 @@ func TestEditPathRoundTripRandomPairs(t *testing.T) {
 func TestEditPathIdentity(t *testing.T) {
 	g := path("A", "B", "C")
 	phi, _, _ := ExactMapping(g, g, 0)
-	if ops := EditPath(g, g, phi); len(ops) != 0 {
+	ops, err := EditPath(g, g, phi)
+	if err != nil {
+		t.Fatalf("EditPath: %v", err)
+	}
+	if len(ops) != 0 {
 		t.Fatalf("identity edit path = %v", ops)
 	}
 }
@@ -53,7 +60,10 @@ func TestEditPathWithMutations(t *testing.T) {
 		if !ok {
 			t.Fatal("exact failed")
 		}
-		ops := EditPath(base, m, phi)
+		ops, err := EditPath(base, m, phi)
+		if err != nil {
+			t.Fatalf("k=%d: EditPath: %v", k, err)
+		}
 		if float64(len(ops)) != d {
 			t.Fatalf("k=%d: %d ops for GED %v", k, len(ops), d)
 		}
@@ -102,11 +112,8 @@ func TestEditKindString(t *testing.T) {
 	}
 }
 
-func TestEditPathPanicsOnBadMapping(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	EditPath(path("A", "B"), path("A"), []int{0})
+func TestEditPathRejectsBadMapping(t *testing.T) {
+	if _, err := EditPath(path("A", "B"), path("A"), []int{0}); err == nil {
+		t.Fatal("no error for a mapping shorter than g")
+	}
 }

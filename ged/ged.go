@@ -18,6 +18,7 @@
 package ged
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -71,19 +72,27 @@ func LowerBound(g, h *graph.Graph) float64 {
 // MappingCost returns the edit cost induced by an explicit node mapping
 // phi (phi[u] in [0,h.N()) or Unmapped). It is an upper bound of the
 // exact GED for any injective mapping and equals it for an optimal one.
-// MappingCost panics if phi maps two nodes of g to the same node of h.
-func MappingCost(g, h *graph.Graph, phi []int) float64 {
+// It returns an error when phi's length does not match g's node count,
+// when a mapping target is out of range, or when phi maps two nodes of g
+// to the same node of h.
+func MappingCost(g, h *graph.Graph, phi []int) (float64, error) {
+	if len(phi) != g.N() {
+		return 0, fmt.Errorf("ged: MappingCost: mapping of length %d for %d nodes", len(phi), g.N())
+	}
 	seen := make(map[int]bool, len(phi))
-	for _, w := range phi {
+	for u, w := range phi {
 		if w == unmapped {
 			continue
 		}
+		if w < 0 || w >= h.N() {
+			return 0, fmt.Errorf("ged: MappingCost: node %d maps to out-of-range node %d (h has %d)", u, w, h.N())
+		}
 		if seen[w] {
-			panic("ged: MappingCost: mapping not injective")
+			return 0, fmt.Errorf("ged: MappingCost: mapping not injective (node %d has two preimages)", w)
 		}
 		seen[w] = true
 	}
-	return mappingCost(g, h, phi)
+	return mappingCost(g, h, phi), nil
 }
 
 // Beam returns the beam-search GED of g and h with beam width w (an upper

@@ -337,7 +337,11 @@ func TestExactMappingCostConsistency(t *testing.T) {
 		if len(phi) != g.N() {
 			t.Fatalf("trial %d: mapping length %d; want %d", trial, len(phi), g.N())
 		}
-		if got := MappingCost(g, h, phi); got != d {
+		got, err := MappingCost(g, h, phi)
+		if err != nil {
+			t.Fatalf("trial %d: MappingCost: %v", trial, err)
+		}
+		if got != d {
 			t.Fatalf("trial %d: mapping cost %v != exact %v", trial, got, d)
 		}
 		want := exact(t, g, h)
@@ -356,20 +360,30 @@ func TestExactMappingSwappedOrientation(t *testing.T) {
 	if !ok || len(phi) != 5 {
 		t.Fatalf("phi = %v ok = %v", phi, ok)
 	}
-	if got := MappingCost(g, h, phi); got != d {
+	got, err := MappingCost(g, h, phi)
+	if err != nil {
+		t.Fatalf("MappingCost: %v", err)
+	}
+	if got != d {
 		t.Fatalf("mapping cost %v != %v", got, d)
 	}
 }
 
-func TestMappingCostPanicsOnNonInjective(t *testing.T) {
+func TestMappingCostRejectsInvalidMappings(t *testing.T) {
 	g := path("A", "B")
 	h := path("A", "B")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for non-injective mapping")
-		}
-	}()
-	MappingCost(g, h, []int{0, 0})
+	if _, err := MappingCost(g, h, []int{0, 0}); err == nil {
+		t.Fatal("no error for non-injective mapping")
+	}
+	if _, err := MappingCost(g, h, []int{0}); err == nil {
+		t.Fatal("no error for short mapping")
+	}
+	if _, err := MappingCost(g, h, []int{0, 7}); err == nil {
+		t.Fatal("no error for out-of-range target")
+	}
+	if got, err := MappingCost(g, h, []int{0, 1}); err != nil || got != 0 {
+		t.Fatalf("identity mapping: cost %v, err %v", got, err)
+	}
 }
 
 func TestLowerBoundPublicAPI(t *testing.T) {

@@ -13,7 +13,16 @@ type Generator struct {
 
 // NewGenerator returns a Generator seeded with seed.
 func NewGenerator(seed int64) *Generator {
-	return &Generator{rng: rand.New(rand.NewSource(seed))}
+	return NewGeneratorRand(rand.New(rand.NewSource(seed)))
+}
+
+// NewGeneratorRand returns a Generator drawing from rng, which must be
+// non-nil. This is the injection point the determinism policy prefers
+// (see DESIGN.md): callers that thread one *rand.Rand through a whole
+// experiment get a single reproducible stream instead of several
+// independently seeded ones.
+func NewGeneratorRand(rng *rand.Rand) *Generator {
+	return &Generator{rng: rng}
 }
 
 // pickLabel draws a label index using a geometric-ish skew so that a few

@@ -1,0 +1,235 @@
+// Package analysis is a small, stdlib-only static-analysis framework plus
+// the project-specific analyzers that enforce LAN's correctness invariants
+// (see DESIGN.md, "Static analysis & determinism policy"). It exists
+// because the repo's headline claims — Lemma 1/Theorem 1 exactness of the
+// pruned routing and Theorem 2 bit-identity of compressed embeddings —
+// collapse if float equality, global randomness or shape bugs silently
+// perturb results. The framework mirrors the shape of golang.org/x/tools'
+// go/analysis but is built purely on go/ast, go/parser and go/types, per
+// the repo's toolchain-only rule.
+//
+// Suppressions: a finding is silenced by a comment of the form
+//
+//	//lint:allow <name> [reason...]
+//
+// placed either on the offending line or on the line directly above it.
+// The reason is free text; writing one is strongly encouraged because the
+// annotation is the audit trail for why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a type-checked package via its
+// Pass and reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name is the identifier used in findings and //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, GlobalRand, LibPanic, MatDim}
+}
+
+// ByName resolves a comma-separated list of analyzer names.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no analyzers selected")
+	}
+	return out, nil
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package import path.
+	Path string
+
+	suppress suppressionIndex
+	findings *[]Finding
+}
+
+// IsCommand reports whether the package is a main package.
+func (p *Pass) IsCommand() bool { return p.Pkg.Name() == "main" }
+
+// IsInternal reports whether the package lives under an internal/ tree.
+func (p *Pass) IsInternal() bool {
+	return strings.Contains(p.Path, "/internal/") || strings.HasSuffix(p.Path, "/internal")
+}
+
+// IsPublicLibrary reports whether the package is part of the importable
+// public API surface: a non-main package outside internal/.
+func (p *Pass) IsPublicLibrary() bool { return !p.IsCommand() && !p.IsInternal() }
+
+// Reportf records a finding at pos unless an applicable //lint:allow
+// comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress.allows(p.Analyzer.Name, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over the loaded packages and returns
+// all findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		idx := buildSuppressionIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				suppress: idx,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// suppressionIndex maps file -> line -> analyzer names allowed on that
+// line (including lines directly below an allow comment).
+type suppressionIndex map[string]map[int]map[string]bool
+
+func (s suppressionIndex) allows(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}
+
+const allowPrefix = "//lint:allow "
+
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := make(suppressionIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					// The comment covers its own line (trailing style) and
+					// the next line (comment-above style).
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if lines[line] == nil {
+							lines[line] = make(map[string]bool)
+						}
+						lines[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// enclosingFuncName returns the name of the innermost function declaration
+// containing pos ("" when not inside one, e.g. a package-level var
+// initializer). Methods report their bare name.
+func enclosingFuncName(files []*ast.File, pos token.Pos) string {
+	for _, f := range files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pos >= fd.Pos() && pos < fd.End() {
+				return fd.Name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// usesPackage reports whether ident denotes an import of the package with
+// the given path (e.g. math/rand) according to the type info.
+func usesPackage(info *types.Info, ident *ast.Ident, path string) bool {
+	obj := info.Uses[ident]
+	pn, ok := obj.(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqFuncs is the approved epsilon-helper allowlist: functions whose
+// whole purpose is float comparison may use == / != internally (typically
+// to short-circuit the exact-equality fast path before a tolerance check).
+// Everywhere else a float equality decides something — and in this
+// codebase that something is usually a Lemma-1 tie-break on GED distances
+// — so it must either go through one of these helpers or carry an explicit
+// //lint:allow floatcmp justification.
+var FloatEqFuncs = map[string]bool{
+	"almostEqual": true,
+	"approxEqual": true,
+	"epsEqual":    true,
+	"feq":         true,
+	"withinTol":   true,
+}
+
+// FloatCmp flags == and != between floating-point expressions. Lemma 1
+// and Theorem 1 (routing exactness) reduce to comparisons between
+// accumulated GED values; bitwise equality on computed float64s is
+// order-of-evaluation dependent and silently breaks those guarantees.
+//
+// Comparisons are exempt when either operand is a compile-time constant
+// (sentinel checks such as `d == 0` compare against exact values, not
+// accumulated ones) and inside the FloatEqFuncs epsilon helpers.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between computed floating-point expressions (distance tie-breaks must be deliberate)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if !isFloat(x.Type) || !isFloat(y.Type) {
+				return true
+			}
+			// Constants (literals and named) are exact values; comparing a
+			// computed float against one is a sentinel check, not a
+			// tie-break between two accumulated results.
+			if x.Value != nil || y.Value != nil {
+				return true
+			}
+			if FloatEqFuncs[enclosingFuncName(pass.Files, be.Pos())] {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s between computed values; use an epsilon helper or justify with //lint:allow floatcmp", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the process-global source. Constructors (New,
+// NewSource, NewZipf, NewPCG, NewChaCha8) are deliberately absent: they
+// are how seed boundaries build the injectable *rand.Rand the policy
+// requires.
+var globalRandFuncs = map[string]bool{
+	"ExpFloat64":  true,
+	"Float32":     true,
+	"Float64":     true,
+	"Int":         true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int32":       true,
+	"Int32N":      true,
+	"Int64":       true,
+	"Int64N":      true,
+	"IntN":        true,
+	"Intn":        true,
+	"Int63":       true,
+	"Int63n":      true,
+	"N":           true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Read":        true,
+	"Seed":        true,
+	"Shuffle":     true,
+	"Uint32":      true,
+	"Uint32N":     true,
+	"Uint64":      true,
+	"Uint64N":     true,
+	"UintN":       true,
+}
+
+// GlobalRand flags draws from the process-global math/rand source in
+// library packages. Global randomness is shared mutable state: any other
+// goroutine or package consuming it shifts the stream, so results stop
+// being reproducible from a seed. All library randomness must flow
+// through an injected (or locally seeded) *rand.Rand. Commands are
+// exempt — a main package owns its process and may seed globally.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flags package-level math/rand draws in library code (randomness must flow through an injected *rand.Rand)",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	if pass.IsCommand() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if usesPackage(pass.Info, ident, "math/rand") || usesPackage(pass.Info, ident, "math/rand/v2") {
+				pass.Reportf(call.Pos(), "global math/rand draw rand.%s in library code; inject a *rand.Rand instead", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LibPanic flags panic calls in the importable public packages (the root
+// lan package, ged, graph, lanio — everything outside internal/ that is
+// not a command). A panic in a public code path turns a caller's bad
+// input into a process abort, which is hostile for a library; such sites
+// must return errors instead. Two escape hatches exist: functions named
+// Must* follow the stdlib convention of documented panicking wrappers,
+// and deliberate invariant checks may carry //lint:allow libpanic with a
+// justification. Internal packages are out of scope — internal/mat and
+// internal/autograd use panics for programmer-error shape checks, which
+// is the documented numpy-style contract there.
+var LibPanic = &Analyzer{
+	Name: "libpanic",
+	Doc:  "flags panic(...) in public (non-internal, non-main) packages; public APIs must return errors",
+	Run:  runLibPanic,
+}
+
+func runLibPanic(pass *Pass) {
+	if !pass.IsPublicLibrary() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := call.Fun.(*ast.Ident)
+			if !ok || ident.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[ident].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if fn := enclosingFuncName(pass.Files, call.Pos()); strings.HasPrefix(fn, "Must") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in public package %s; return an error (or name the function Must*)", pass.Path)
+			return true
+		})
+	}
+}

@@ -1,0 +1,57 @@
+// Package fixture exercises the floatcmp analyzer: == / != between
+// computed floats must be flagged, while constant sentinels, epsilon
+// helpers and //lint:allow suppressions must not.
+package fixture
+
+func distances() (float64, float64) { return 1.0, 2.0 }
+
+func equalityFlagged() bool {
+	a, b := distances()
+	return a == b // want "floating-point =="
+}
+
+func inequalityFlagged(xs []float64) bool {
+	a, _ := distances()
+	return xs[0] != a // want "floating-point !="
+}
+
+func float32Flagged(a, b float32) bool {
+	return a == b // want "floating-point =="
+}
+
+func sentinelZeroAllowed() bool {
+	a, _ := distances()
+	return a == 0
+}
+
+const calibrated = 1.5
+
+func namedConstantAllowed() bool {
+	a, _ := distances()
+	return a != calibrated
+}
+
+func intComparisonIgnored(i, j int) bool {
+	return i == j
+}
+
+// almostEqual is on the FloatEqFuncs allowlist: epsilon helpers may
+// fast-path exact equality before the tolerance check.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func suppressedAbove() bool {
+	a, b := distances()
+	//lint:allow floatcmp deterministic tie-break, fixture for the suppression path
+	return a != b
+}
+
+func suppressedTrailing() bool {
+	a, b := distances()
+	return a == b //lint:allow floatcmp fixture trailing-comment style
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the globalrand analyzer: draws from the
+// process-global math/rand source must be flagged in library code, while
+// injected *rand.Rand usage and seed-boundary constructors must not.
+package fixture
+
+import "math/rand"
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global math/rand draw rand.Intn"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global math/rand draw rand.Float64"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand draw rand.Shuffle"
+}
+
+func injected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func seedBoundary(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func suppressed() int {
+	return rand.Int() //lint:allow globalrand fixture for the suppression path
+}

@@ -1,0 +1,13 @@
+// Command fixture pins the globalrand exemption for main packages: a
+// command owns its process, so global seeding/draws are its business and
+// none of these lines may be flagged.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	fmt.Println(rand.Intn(10), rand.Float64())
+}

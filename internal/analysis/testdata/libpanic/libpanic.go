@@ -1,0 +1,34 @@
+// Package fixture exercises the libpanic analyzer: panics in public
+// (non-internal, non-main) packages must be flagged unless the function
+// follows the Must* convention or the site carries an allow annotation.
+package fixture
+
+import "fmt"
+
+// Do is an exported entry point; its input check must not panic.
+func Do(x int) error {
+	if x < 0 {
+		panic("negative x") // want "panic in public package"
+	}
+	return nil
+}
+
+func unexportedHelper(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("helper got %d", x)) // want "panic in public package"
+	}
+}
+
+// MustDo follows the stdlib Must* convention: a documented panicking
+// wrapper around the error-returning API.
+func MustDo(x int) {
+	if err := Do(x); err != nil {
+		panic(err)
+	}
+}
+
+func suppressedInvariant(n int) {
+	if n*n < 0 {
+		panic("unreachable: squares are non-negative") //lint:allow libpanic fixture for the suppression path
+	}
+}

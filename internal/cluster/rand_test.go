@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFitKMeansRandMatchesSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	points := make([][]float64, 40)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+
+	seeded, err := FitKMeans(points, 4, 20, 5)
+	if err != nil {
+		t.Fatalf("FitKMeans: %v", err)
+	}
+	injected, err := FitKMeansRand(points, 4, 20, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("FitKMeansRand: %v", err)
+	}
+
+	if len(seeded.Assign) != len(injected.Assign) {
+		t.Fatalf("assignment lengths differ: %d vs %d", len(seeded.Assign), len(injected.Assign))
+	}
+	for i := range seeded.Assign {
+		if seeded.Assign[i] != injected.Assign[i] {
+			t.Fatalf("point %d: seeded cluster %d, injected cluster %d", i, seeded.Assign[i], injected.Assign[i])
+		}
+	}
+}

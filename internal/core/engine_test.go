@@ -25,14 +25,22 @@ func buildEngine(t *testing.T) (*Engine, dataset.Spec, graph.Database, []*graph.
 	t.Helper()
 	f := &engineFixture
 	f.once.Do(func() {
-		f.spec = dataset.AIDS(0.004)
+		// In -short mode a smaller database and fewer training epochs keep
+		// the shared build under a couple of seconds; tests that assert
+		// search quality (recall, IS comparisons) skip themselves instead,
+		// since those bounds only hold at the full fixture scale.
+		scale, nq, epochs := 0.004, 40, 8
+		if testing.Short() {
+			scale, nq, epochs = 0.001, 12, 2
+		}
+		f.spec = dataset.AIDS(scale)
 		f.db = f.spec.Generate()
-		queries := dataset.Workload(f.db, f.spec, 40, 5)
+		queries := dataset.Workload(f.db, f.spec, nq, 5)
 		train, _, test := dataset.Split(queries)
 		f.test = test
 		f.eng, f.err = Build(f.db, train, Options{
 			M: 5, Dim: 8, GammaKNN: 5,
-			Train: models.TrainOptions{Epochs: 8, LR: 0.01},
+			Train: models.TrainOptions{Epochs: epochs, LR: 0.01},
 			Seed:  1,
 		})
 	})
@@ -53,6 +61,9 @@ func TestBuildValidation(t *testing.T) {
 }
 
 func TestSearchAllStrategiesReturnResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: routes every strategy over the full engine (~30s)")
+	}
 	eng, _, db, test := buildEngine(t)
 	q := test[0]
 	for _, is := range []InitialStrategy{LANIS, HNSWIS, RandIS} {
@@ -77,6 +88,9 @@ func TestSearchAllStrategiesReturnResults(t *testing.T) {
 }
 
 func TestSearchRecallAgainstBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: computes brute-force ground truth (~28s)")
+	}
 	eng, _, db, test := buildEngine(t)
 	var recall float64
 	for _, q := range test {
@@ -245,16 +259,23 @@ func TestLoadErrors(t *testing.T) {
 func TestBasicISMatchesOptimizedQualityWithMorePredictions(t *testing.T) {
 	// Sec. V-B1 vs V-B2: the exhaustive design makes O(|D|) predictions;
 	// the cluster-pruned design makes far fewer at comparable entries.
+	if testing.Short() {
+		t.Skip("skipping in -short mode: cluster pruning only wins at full fixture scale")
+	}
 	eng, _, db, test := buildEngine(t)
+	nq := 4
+	if nq > len(test) {
+		nq = len(test)
+	}
 	var optPreds, basicPreds int
-	for _, q := range test[:4] {
+	for _, q := range test[:nq] {
 		_, s1 := eng.Search(q, SearchOptions{K: 5, Beam: 12, Initial: LANIS, Routing: LANRoute})
 		_, s2 := eng.Search(q, SearchOptions{K: 5, Beam: 12, Initial: LANISBasic, Routing: LANRoute})
 		optPreds += s1.ISPredictions
 		basicPreds += s2.ISPredictions
 	}
-	if basicPreds != 4*len(db) {
-		t.Fatalf("basic design made %d predictions; want %d", basicPreds, 4*len(db))
+	if basicPreds != nq*len(db) {
+		t.Fatalf("basic design made %d predictions; want %d", basicPreds, nq*len(db))
 	}
 	if optPreds >= basicPreds {
 		t.Fatalf("optimized design not cheaper: %d >= %d", optPreds, basicPreds)

@@ -18,6 +18,7 @@ import (
 
 	"github.com/lansearch/lan/ged"
 	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/order"
 	"github.com/lansearch/lan/internal/pg"
 )
 
@@ -210,10 +211,7 @@ func BruteForceKNN(db graph.Database, q *graph.Graph, metric ged.Metric, k int) 
 		res[i] = pg.Result{ID: i, Dist: metric.Distance(g, q)}
 	}
 	sort.Slice(res, func(i, j int) bool {
-		if res[i].Dist != res[j].Dist {
-			return res[i].Dist < res[j].Dist
-		}
-		return res[i].ID < res[j].ID
+		return order.ByDistThenID(res[i].Dist, res[i].ID, res[j].Dist, res[j].ID)
 	})
 	if len(res) > k {
 		res = res[:k]

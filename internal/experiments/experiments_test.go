@@ -35,6 +35,9 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig5Through7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: runs the full figure protocol end to end (~20s)")
+	}
 	p := tinyProtocol()
 	env, err := NewEnv(p, dataset.AIDS(p.Scale))
 	if err != nil {

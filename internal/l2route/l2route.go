@@ -21,6 +21,7 @@ import (
 	"github.com/lansearch/lan/internal/cg"
 	"github.com/lansearch/lan/internal/mat"
 	"github.com/lansearch/lan/internal/nn"
+	"github.com/lansearch/lan/internal/order"
 	"github.com/lansearch/lan/internal/pg"
 )
 
@@ -115,10 +116,7 @@ func BuildIndex(db graph.Database, enc *Encoder, m int) *Index {
 			}
 		}
 		sort.Slice(nds, func(a, b int) bool {
-			if nds[a].d != nds[b].d {
-				return nds[a].d < nds[b].d
-			}
-			return nds[a].id < nds[b].id
+			return order.ByDistThenID(nds[a].d, nds[a].id, nds[b].d, nds[b].id)
 		})
 		if len(nds) > m {
 			nds = nds[:m]
@@ -241,10 +239,7 @@ func (x *Index) Search(q *graph.Graph, cache *pg.DistCache, k, beam, verify int)
 		verified = append(verified, pg.Result{ID: c.id, Dist: cache.Dist(c.id)})
 	}
 	sort.Slice(verified, func(i, j int) bool {
-		if verified[i].Dist != verified[j].Dist {
-			return verified[i].Dist < verified[j].Dist
-		}
-		return verified[i].ID < verified[j].ID
+		return order.ByDistThenID(verified[i].Dist, verified[i].ID, verified[j].Dist, verified[j].ID)
 	})
 	if len(verified) > k {
 		verified = verified[:k]
@@ -260,10 +255,8 @@ type vecCand struct {
 
 func insertCand(s []vecCand, c vecCand) []vecCand {
 	i := sort.Search(len(s), func(i int) bool {
-		if s[i].d != c.d {
-			return s[i].d > c.d
-		}
-		return s[i].id > c.id
+		// The first element strictly after c in the canonical order.
+		return order.ByDistThenID(c.d, c.id, s[i].d, s[i].id)
 	})
 	s = append(s, c)
 	copy(s[i+1:], s[i:])

@@ -145,6 +145,9 @@ func TestBuildRankTrainingSetRestrictsToNeighborhood(t *testing.T) {
 }
 
 func TestNeighborRankerLearnsToRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: trains the neighbor ranker to convergence")
+	}
 	f := newFixture(t, 0.003, 8)
 	cfg := Config{Layers: 2, Dim: 8, BatchPercent: 20, GammaStar: f.gamma, Seed: 1}
 	r := NewNeighborRanker(cfg, f.store)
@@ -225,6 +228,9 @@ func TestMembershipTrainingSetDownsamples(t *testing.T) {
 }
 
 func TestNeighborhoodModelLearnsMembership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: trains the neighborhood classifier to convergence")
+	}
 	f := newFixture(t, 0.003, 8)
 	cfg := Config{Layers: 2, Dim: 8, GammaStar: f.gamma, Seed: 3}
 	m := NewNeighborhoodModel(cfg, f.store)
@@ -312,6 +318,9 @@ func TestClusterModelPipeline(t *testing.T) {
 }
 
 func TestInitialSelectorEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: trains the initial selector end to end")
+	}
 	f := newFixture(t, 0.003, 10)
 	emb := cluster.NewFeatureEmbedder(f.db)
 	points := make([][]float64, len(f.db))

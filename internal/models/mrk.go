@@ -8,6 +8,7 @@ import (
 	"github.com/lansearch/lan/internal/cg"
 	"github.com/lansearch/lan/internal/mat"
 	"github.com/lansearch/lan/internal/nn"
+	"github.com/lansearch/lan/internal/order"
 	"github.com/lansearch/lan/internal/pg"
 	"github.com/lansearch/lan/internal/route"
 )
@@ -105,10 +106,7 @@ func (r *NeighborRanker) Ranker(db graph.Database, q *graph.Graph, calls *int) r
 			}
 		}
 		sort.SliceStable(ss, func(i, j int) bool {
-			if ss[i].score != ss[j].score {
-				return ss[i].score > ss[j].score
-			}
-			return ss[i].id < ss[j].id
+			return order.ByScoreThenID(ss[i].score, ss[i].id, ss[j].score, ss[j].id)
 		})
 		ranked := make([]int, len(ss))
 		for i, s := range ss {
@@ -149,11 +147,7 @@ func BuildRankTrainingSet(p *pg.PG, table *DistanceTable, gammaStar float64) []R
 				idx[i] = i
 			}
 			sort.SliceStable(idx, func(a, b int) bool {
-				da, db := row[ns[idx[a]]], row[ns[idx[b]]]
-				if da != db {
-					return da < db
-				}
-				return ns[idx[a]] < ns[idx[b]]
+				return order.ByDistThenID(row[ns[idx[a]]], ns[idx[a]], row[ns[idx[b]]], ns[idx[b]])
 			})
 			ranks := make([]int, len(ns))
 			for rank, i := range idx {

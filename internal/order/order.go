@@ -1,0 +1,47 @@
+// Package order centralizes the deterministic orderings the search and
+// evaluation layers sort results by. The paper's Lemma 1 / Theorem 1
+// exactness argument assumes a total, reproducible order over candidate
+// distances; scattering ad-hoc float comparisons across comparators is
+// how that silently breaks (and is why the floatcmp analyzer bans float
+// equality in library code). Every ordering here is built from Cmp, which
+// uses only < and > — no floating-point equality test — so ties are
+// whatever is left after both strict comparisons fail, exactly the
+// semantics sort.Slice needs.
+//
+// NaN never legitimately appears in GED distances; Cmp treats it as
+// equal to everything, which keeps comparators total rather than
+// panicking mid-sort.
+package order
+
+// Cmp compares two float64s, returning -1 when a sorts before b, +1 when
+// after, and 0 on a tie.
+func Cmp(a, b float64) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// ByDistThenID reports whether result (d1, id1) sorts before (d2, id2)
+// under the canonical ascending-distance order with ascending-id
+// tie-break. All k-NN result lists use this order, which is what makes
+// runs byte-for-byte reproducible.
+func ByDistThenID(d1 float64, id1 int, d2 float64, id2 int) bool {
+	if c := Cmp(d1, d2); c != 0 {
+		return c < 0
+	}
+	return id1 < id2
+}
+
+// ByScoreThenID reports whether (s1, id1) sorts before (s2, id2) under
+// descending score with ascending-id tie-break — the order model scores
+// are ranked in.
+func ByScoreThenID(s1 float64, id1 int, s2 float64, id2 int) bool {
+	if c := Cmp(s1, s2); c != 0 {
+		return c > 0
+	}
+	return id1 < id2
+}

@@ -1,0 +1,86 @@
+package order
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want int
+	}{
+		{1, 2, -1},
+		{2, 1, 1},
+		{1.5, 1.5, 0},
+		{0, math.Copysign(0, -1), 0},
+		{math.Inf(-1), 1, -1},
+		{math.Inf(1), 1, 1},
+		{math.NaN(), 1, 0},
+		{1, math.NaN(), 0},
+		{math.NaN(), math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := Cmp(c.a, c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d; want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestByDistThenID(t *testing.T) {
+	if !ByDistThenID(1, 9, 2, 0) {
+		t.Error("smaller distance must sort first regardless of id")
+	}
+	if ByDistThenID(2, 0, 1, 9) {
+		t.Error("larger distance must sort last regardless of id")
+	}
+	if !ByDistThenID(1.5, 3, 1.5, 7) {
+		t.Error("ties must break by ascending id")
+	}
+	if ByDistThenID(1.5, 7, 1.5, 3) {
+		t.Error("ties must break by ascending id (reverse)")
+	}
+	if ByDistThenID(1.5, 4, 1.5, 4) {
+		t.Error("an element must not sort before itself (strict weak order)")
+	}
+}
+
+func TestByScoreThenID(t *testing.T) {
+	if !ByScoreThenID(0.9, 5, 0.1, 0) {
+		t.Error("higher score must sort first")
+	}
+	if !ByScoreThenID(0.5, 2, 0.5, 6) {
+		t.Error("ties must break by ascending id")
+	}
+	if ByScoreThenID(0.5, 6, 0.5, 2) {
+		t.Error("ties must break by ascending id (reverse)")
+	}
+}
+
+// TestSortDeterminism pins that a shuffled (dist, id) slice always sorts
+// to the same sequence — the reproducibility property the routing layer
+// relies on.
+func TestSortDeterminism(t *testing.T) {
+	type item struct {
+		id int
+		d  float64
+	}
+	base := []item{{3, 1.0}, {1, 1.0}, {2, 0.5}, {0, 2.0}, {4, 0.5}}
+	permutations := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}}
+	want := []int{2, 4, 1, 3, 0}
+	for _, perm := range permutations {
+		items := make([]item, len(base))
+		for i, p := range perm {
+			items[i] = base[p]
+		}
+		sort.Slice(items, func(i, j int) bool {
+			return ByDistThenID(items[i].d, items[i].id, items[j].d, items[j].id)
+		})
+		for i, w := range want {
+			if items[i].id != w {
+				t.Fatalf("perm %v: sorted ids %v; want %v", perm, items, want)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/lansearch/lan/ged"
 	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/order"
 )
 
 // BuildConfig controls proximity-graph construction.
@@ -19,8 +20,12 @@ type BuildConfig struct {
 	// Metric computes GED during construction (typically an approximation
 	// such as ged.Hungarian — construction is offline).
 	Metric ged.Metric
-	// Seed drives the level assignment.
+	// Seed drives the level assignment when RNG is nil.
 	Seed int64
+	// RNG, when non-nil, is the injected randomness source for level
+	// assignment and connectivity-repair sampling; it takes precedence
+	// over Seed.
+	RNG *rand.Rand
 }
 
 func (c *BuildConfig) defaults() {
@@ -68,7 +73,10 @@ func Build(db graph.Database, cfg BuildConfig) (*HNSW, error) {
 			return nil, fmt.Errorf("pg: graph %d has ID %d; use graph.NewDatabase", i, g.ID)
 		}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	mL := 1 / math.Log(float64(cfg.M))
 
 	h := &HNSW{
@@ -360,10 +368,7 @@ func (h *HNSW) shrink(u int, ns []int, cap int) (kept, dropped []int) {
 		cands[i] = Candidate{ID: v, Dist: c.Dist(v)}
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Dist != cands[j].Dist {
-			return cands[i].Dist < cands[j].Dist
-		}
-		return cands[i].ID < cands[j].ID
+		return order.ByDistThenID(cands[i].Dist, cands[i].ID, cands[j].Dist, cands[j].ID)
 	})
 	selected := h.selectNeighbors(c, cands, cap)
 	keptSet := make(map[int]bool, len(selected))

@@ -11,6 +11,7 @@ import (
 
 	"github.com/lansearch/lan/ged"
 	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/order"
 )
 
 // PG is a flat proximity graph: node i is db[i]; Adj[i] lists its
@@ -111,10 +112,7 @@ type Stats struct {
 func topK(cands []Candidate, k int) []Result {
 	sorted := append([]Candidate(nil), cands...)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Dist != sorted[j].Dist {
-			return sorted[i].Dist < sorted[j].Dist
-		}
-		return sorted[i].ID < sorted[j].ID
+		return order.ByDistThenID(sorted[i].Dist, sorted[i].ID, sorted[j].Dist, sorted[j].ID)
 	})
 	if len(sorted) > k {
 		sorted = sorted[:k]

@@ -1,0 +1,27 @@
+package pg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBuildWithInjectedRNGMatchesSeed(t *testing.T) {
+	db := clusteredDB(3, 4, 5)
+
+	seeded, err := Build(db, BuildConfig{M: 4, EfConstruction: 12, Seed: 11})
+	if err != nil {
+		t.Fatalf("Build(seed): %v", err)
+	}
+	injected, err := Build(db, BuildConfig{M: 4, EfConstruction: 12, RNG: rand.New(rand.NewSource(11))})
+	if err != nil {
+		t.Fatalf("Build(rng): %v", err)
+	}
+
+	if !reflect.DeepEqual(seeded.PG.Adj, injected.PG.Adj) {
+		t.Fatalf("base-layer adjacency differs between Seed and equivalent injected RNG")
+	}
+	if !reflect.DeepEqual(seeded.Level, injected.Level) {
+		t.Fatalf("level assignment differs between Seed and equivalent injected RNG")
+	}
+}

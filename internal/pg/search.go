@@ -1,6 +1,10 @@
 package pg
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/lansearch/lan/internal/order"
+)
 
 // Candidate is an entry of the pool W: a database graph and its distance
 // to the query.
@@ -52,8 +56,8 @@ func (p *Pool) Explored(id int) bool {
 
 // less implements the paper's resize priority.
 func (p *Pool) less(a, b Candidate) bool {
-	if a.Dist != b.Dist {
-		return a.Dist < b.Dist
+	if c := order.Cmp(a.Dist, b.Dist); c != 0 {
+		return c < 0
 	}
 	sa, ea := p.exploredSeq[a.ID]
 	sb, eb := p.exploredSeq[b.ID]
@@ -84,7 +88,7 @@ func (p *Pool) Best() (Candidate, bool) {
 	best := Candidate{}
 	found := false
 	for _, c := range p.items {
-		if !found || c.Dist < best.Dist || (c.Dist == best.Dist && c.ID < best.ID) {
+		if !found || order.ByDistThenID(c.Dist, c.ID, best.Dist, best.ID) {
 			best = c
 			found = true
 		}
@@ -101,7 +105,7 @@ func (p *Pool) NextUnexplored() (Candidate, bool) {
 		if p.Explored(c.ID) {
 			continue
 		}
-		if !found || c.Dist < best.Dist || (c.Dist == best.Dist && c.ID < best.ID) {
+		if !found || order.ByDistThenID(c.Dist, c.ID, best.Dist, best.ID) {
 			best = c
 			found = true
 		}
@@ -189,10 +193,8 @@ func searchLayer(c *DistCache, neighbors func(int) []int, entry int, ef int) []C
 
 func insertAsc(s []Candidate, c Candidate) []Candidate {
 	i := sort.Search(len(s), func(i int) bool {
-		if s[i].Dist != c.Dist {
-			return s[i].Dist > c.Dist
-		}
-		return s[i].ID > c.ID
+		// The first element strictly after c in the canonical order.
+		return order.ByDistThenID(c.Dist, c.ID, s[i].Dist, s[i].ID)
 	})
 	s = append(s, Candidate{})
 	copy(s[i+1:], s[i:])

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/internal/order"
 	"github.com/lansearch/lan/internal/pg"
 )
 
@@ -54,11 +55,7 @@ func (o *OracleRanker) Batches(node int, neighbors []int, dCurrent float64) [][]
 	}
 	d := func(id int) float64 { return metric.Distance(o.Cache.DB[id], o.Cache.Q) }
 	sort.SliceStable(ranked, func(i, j int) bool {
-		di, dj := d(ranked[i]), d(ranked[j])
-		if di != dj {
-			return di < dj
-		}
-		return ranked[i] < ranked[j]
+		return order.ByDistThenID(d(ranked[i]), ranked[i], d(ranked[j]), ranked[j])
 	})
 	return SplitBatches(ranked, o.BatchPercent)
 }

@@ -21,6 +21,9 @@ func buildSmallIndex(t *testing.T) (*Index, graph.Database, []*graph.Graph) {
 }
 
 func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds a full index end to end")
+	}
 	idx, db, test := buildSmallIndex(t)
 	if idx.Len() != len(db) {
 		t.Fatalf("Len = %d; want %d", idx.Len(), len(db))
@@ -48,6 +51,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 }
 
 func TestSearchArgumentValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds a full index")
+	}
 	idx, _, test := buildSmallIndex(t)
 	if _, _, err := idx.Search(nil, SearchOptions{K: 3}); err == nil {
 		t.Fatal("nil query accepted")
@@ -58,6 +64,9 @@ func TestSearchArgumentValidation(t *testing.T) {
 }
 
 func TestStrategyConstantsWireThrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds a full index per strategy")
+	}
 	idx, _, test := buildSmallIndex(t)
 	for _, is := range []InitialStrategy{LANIS, HNSWIS, RandIS} {
 		for _, rt := range []RoutingStrategy{LANRoute, BaselineRoute, OracleRoute} {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/order"
 )
 
 // ShardedIndex searches a database split into independently indexed
@@ -20,6 +21,8 @@ type ShardedIndex struct {
 	// offsets[i] is the global id of shard i's graph 0.
 	offsets []int
 	total   int
+	// parallel bounds concurrent shard searches (0 = GOMAXPROCS).
+	parallel int
 }
 
 // ShardedOptions configure BuildSharded.
@@ -52,7 +55,7 @@ func BuildSharded(db graph.Database, trainQueries []*graph.Graph, so ShardedOpti
 	if size > len(db) {
 		size = len(db)
 	}
-	s := &ShardedIndex{total: len(db)}
+	s := &ShardedIndex{total: len(db), parallel: so.Parallel}
 	for start := 0; start < len(db); start += size {
 		end := start + size
 		if end > len(db) {
@@ -95,7 +98,10 @@ func (s *ShardedIndex) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats
 		err   error
 	}
 	outs := make([]shardOut, len(s.shards))
-	par := runtime.GOMAXPROCS(0)
+	par := s.parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i := range s.shards {
@@ -130,10 +136,7 @@ func (s *ShardedIndex) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats
 		}
 	}
 	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Dist != merged[j].Dist {
-			return merged[i].Dist < merged[j].Dist
-		}
-		return merged[i].ID < merged[j].ID
+		return order.ByDistThenID(merged[i].Dist, merged[i].ID, merged[j].Dist, merged[j].ID)
 	})
 	if len(merged) > so.K {
 		merged = merged[:so.K]

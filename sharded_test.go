@@ -1,6 +1,8 @@
 package lan
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/lansearch/lan/internal/dataset"
@@ -16,6 +18,9 @@ func toPGResults(res []Result) []pg.Result {
 }
 
 func TestShardedIndexMatchesGlobalTopK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds global and sharded indexes (~20s)")
+	}
 	spec := dataset.AIDS(0.005)
 	db := spec.Generate()
 	queries := dataset.Workload(db, spec, 20, 3)
@@ -59,6 +64,9 @@ func TestShardedIndexMatchesGlobalTopK(t *testing.T) {
 }
 
 func TestShardedSearchRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds a multi-shard index (~18s)")
+	}
 	spec := dataset.AIDS(0.005)
 	db := spec.Generate()
 	queries := dataset.Workload(db, spec, 20, 3)
@@ -111,5 +119,61 @@ func TestShardedValidation(t *testing.T) {
 	}
 	if _, _, err := sharded.Search(queries[0], SearchOptions{}); err == nil {
 		t.Fatal("K=0 accepted")
+	}
+}
+
+// TestShardedConcurrentSearches is the -short-mode (and therefore race-mode)
+// coverage of the multi-shard fan-out: a tiny database split into several
+// shards, searched from multiple goroutines at once, must agree with a
+// sequential search of the same index.
+func TestShardedConcurrentSearches(t *testing.T) {
+	spec := dataset.AIDS(0.002)
+	db := spec.Generate()
+	queries := dataset.Workload(db, spec, 12, 3)
+	sharded, err := BuildSharded(db, queries, ShardedOptions{
+		ShardSize: (len(db) + 2) / 3, // force three shards
+		Parallel:  2,
+		Options:   Options{M: 4, Dim: 6, GammaKNN: 5, Epochs: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 3 {
+		t.Fatalf("shards = %d; want 3", sharded.Shards())
+	}
+
+	q := queries[0]
+	want, _, err := sharded.Search(q, SearchOptions{K: 5, Beam: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := sharded.Search(q, SearchOptions{K: 5, Beam: 8})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != len(want) {
+				errs <- fmt.Errorf("got %d results; want %d", len(got), len(want))
+				return
+			}
+			for j := range got {
+				if got[j].ID != want[j].ID {
+					errs <- fmt.Errorf("result %d: id %d != %d", j, got[j].ID, want[j].ID)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
