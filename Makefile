@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments examples clean
+.PHONY: all build vet lint test race bench experiments examples serve-smoke clean
 
 all: build vet lint test
 
@@ -36,6 +36,11 @@ bench:
 # Regenerate the paper's evaluation on the dataset simulators.
 experiments:
 	$(GO) run ./cmd/lan-bench -exp all
+
+# Boot lan-serve on a tiny generated database, hit /search and /metrics,
+# and verify it drains within 5s of SIGTERM.
+serve-smoke:
+	$(GO) run ./scripts/serve-smoke
 
 examples:
 	$(GO) run ./examples/quickstart

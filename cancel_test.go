@@ -1,0 +1,191 @@
+package lan
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/dataset"
+)
+
+// notifyMetric wraps the GED metric so tests can learn when a search has
+// reached its first distance computation (to cancel mid-flight) and slow
+// the remaining ones enough that an un-checked cancellation would be
+// obvious as a multi-second stall. It starts disarmed, so index building
+// runs at full speed; arm/disarm are safe against concurrent searches.
+type notifyMetric struct {
+	inner   ged.Metric
+	mu      sync.Mutex
+	started chan struct{}
+	delay   time.Duration
+}
+
+// arm slows every subsequent distance computation by delay and returns a
+// channel closed when the next one begins.
+func (m *notifyMetric) arm(delay time.Duration) <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.started = make(chan struct{})
+	m.delay = delay
+	return m.started
+}
+
+func (m *notifyMetric) disarm() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.started = nil
+	m.delay = 0
+}
+
+func (m *notifyMetric) Distance(a, b *graph.Graph) float64 {
+	m.mu.Lock()
+	if m.started != nil {
+		close(m.started)
+		m.started = nil
+	}
+	d := m.delay
+	m.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return m.inner.Distance(a, b)
+}
+
+var cancelFixture struct {
+	once    sync.Once
+	idx     *Index
+	sharded *ShardedIndex
+	metric  *notifyMetric
+	query   *graph.Graph
+	err     error
+}
+
+// cancelIndexes builds a three-shard index over a tiny database, driven by
+// a notifyMetric. The plain-Index cancellation paths are exercised through
+// shard 0 (a *Index over a third of the database) so the fixture pays for
+// one build; kept -short-fast so the race-mode CI leg covers these tests.
+func cancelIndexes(t *testing.T) (*Index, *ShardedIndex, *notifyMetric, *graph.Graph) {
+	t.Helper()
+	f := &cancelFixture
+	f.once.Do(func() {
+		spec := dataset.AIDS(0.002)
+		db := spec.Generate()
+		queries := dataset.Workload(db, spec, 12, 3)
+		f.metric = &notifyMetric{inner: ged.MetricFunc(ged.Hungarian)}
+		f.sharded, f.err = BuildSharded(db, queries, ShardedOptions{
+			ShardSize: (len(db) + 2) / 3,
+			Parallel:  2,
+			Options:   Options{M: 4, Dim: 6, GammaKNN: 5, Epochs: 1, Seed: 1, QueryMetric: f.metric},
+		})
+		if f.err != nil {
+			return
+		}
+		f.idx = f.sharded.shards[0]
+		f.query = queries[0]
+	})
+	if f.err != nil {
+		t.Fatalf("building cancel fixture: %v", f.err)
+	}
+	return f.idx, f.sharded, f.metric, f.query
+}
+
+func TestSearchContextPreCanceled(t *testing.T) {
+	idx, sharded, _, q := cancelIndexes(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, _, err := idx.SearchContext(ctx, q, SearchOptions{K: 3, Beam: 8}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Index err = %v; want context.Canceled", err)
+	}
+	_, _, err := sharded.SearchContext(ctx, q, SearchOptions{K: 3, Beam: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ShardedIndex err = %v; want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("sharded error %q does not identify the failing shard", err)
+	}
+}
+
+func TestSearchContextMidFlightCancel(t *testing.T) {
+	idx, _, metric, q := cancelIndexes(t)
+	started := metric.arm(500 * time.Microsecond)
+	defer metric.disarm()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	var canceledAt time.Time
+	go func() {
+		_, _, err := idx.SearchContext(ctx, q, SearchOptions{K: 3, Beam: 32})
+		done <- err
+	}()
+	<-started // the search is inside its first distance computation
+	canceledAt = time.Now()
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v; want context.Canceled", err)
+		}
+		// Prompt return: at most a handful of in-flight distance
+		// computations after cancel, not the whole beam search.
+		if elapsed := time.Since(canceledAt); elapsed > 2*time.Second {
+			t.Fatalf("search returned %s after cancel", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("search never returned after cancellation")
+	}
+}
+
+func TestSearchContextDeadline(t *testing.T) {
+	idx, _, metric, q := cancelIndexes(t)
+	metric.arm(2 * time.Millisecond)
+	defer metric.disarm()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, _, err := idx.SearchContext(ctx, q, SearchOptions{K: 3, Beam: 32})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want context.DeadlineExceeded", err)
+	}
+}
+
+// TestShardedCancelNoGoroutineLeak cancels a sharded fan-out mid-flight and
+// verifies every shard goroutine exits: SearchContext must not return while
+// workers it spawned are still running.
+func TestShardedCancelNoGoroutineLeak(t *testing.T) {
+	_, sharded, metric, q := cancelIndexes(t)
+	metric.arm(500 * time.Microsecond)
+	defer metric.disarm()
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+		}()
+		_, _, err := sharded.SearchContext(ctx, q, SearchOptions{K: 3, Beam: 32})
+		cancel()
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v", i, err)
+		}
+	}
+
+	// Allow the cancel-timer goroutines above to wind down, then insist the
+	// count returns to its starting point.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

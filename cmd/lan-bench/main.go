@@ -7,15 +7,22 @@
 //	lan-bench -exp all
 //
 // Valid experiment ids: tab1, fig5..fig12, all.
+//
+// Alongside the human-readable rows, lan-bench writes a machine-readable
+// summary (recall@k, mean/median NDC, per-query latency percentiles and
+// build time per dataset/beam) to BENCH_<timestamp>.json; -json sets an
+// explicit path, -json off disables it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/lansearch/lan/ged"
 	"github.com/lansearch/lan/internal/experiments"
@@ -26,10 +33,11 @@ func main() {
 	log.SetPrefix("lan-bench: ")
 	p := experiments.DefaultProtocol()
 	var (
-		exp    = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.Names(), ", "))
-		beams  = flag.String("beams", "", "comma-separated beam sizes (default from protocol)")
-		budget = flag.Int("exact-budget", 150, "A* expansion budget of the query GED ensemble (0 = approximations only)")
-		data   = flag.String("datasets", "", "comma-separated dataset filter (aids,linux,pubchem,syn; default all)")
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.Names(), ", "))
+		beams    = flag.String("beams", "", "comma-separated beam sizes (default from protocol)")
+		budget   = flag.Int("exact-budget", 150, "A* expansion budget of the query GED ensemble (0 = approximations only)")
+		data     = flag.String("datasets", "", "comma-separated dataset filter (aids,linux,pubchem,syn; default all)")
+		jsonPath = flag.String("json", "", `benchmark summary path ("" = BENCH_<timestamp>.json, "off" disables)`)
 	)
 	flag.Float64Var(&p.Scale, "scale", p.Scale, "dataset scale relative to Table I")
 	flag.IntVar(&p.Queries, "queries", p.Queries, "query workload size")
@@ -58,7 +66,29 @@ func main() {
 
 	fmt.Printf("protocol: scale=%g queries=%d k=%d beams=%v dim=%d epochs=%d seed=%d\n\n",
 		p.Scale, p.Queries, p.K, p.Beams, p.Dim, p.TrainEpochs, p.Seed)
-	if err := experiments.Run(os.Stdout, *exp, p); err != nil {
+	cache := experiments.NewEnvCache()
+	if err := experiments.RunCached(os.Stdout, *exp, p, cache); err != nil {
 		log.Fatal(err)
 	}
+
+	if *jsonPath == "off" {
+		return
+	}
+	rep, err := experiments.Bench(p, cache) // reuses engines the figures built
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	path := *jsonPath
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("20060102T150405") + ".json"
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote benchmark summary to %s\n", path)
 }

@@ -1,0 +1,115 @@
+// Command lan-serve serves k-ANN queries over a trained LAN index via
+// HTTP/JSON, with admission control, result caching and Prometheus
+// metrics (see the lanserve package).
+//
+// Usage:
+//
+//	lan-serve -db aids.txt -index aids.lan -addr :8080
+//	curl -d '{"query":{"labels":["C","O"],"edges":[[0,1]]},"k":5}' localhost:8080/search
+//	curl localhost:8080/metrics
+//
+// The database and index files come from lan-gen and lan-train. On
+// SIGINT/SIGTERM the server stops accepting work (/readyz turns 503),
+// drains in-flight connections and exits within -shutdown-grace.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/lanio"
+	"github.com/lansearch/lan/lanserve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lan-serve: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		dbPath   = flag.String("db", "", "database file (graph text format, or .json)")
+		idxPath  = flag.String("index", "", "trained index snapshot from lan-train")
+		workers  = flag.Int("workers", 0, "concurrent searches (default GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "admission queue depth beyond -workers; overflow gets 429")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request deadline ceiling")
+		cacheSz  = flag.Int("cache", 1024, "result-cache entries (negative disables)")
+		maxK     = flag.Int("max-k", 100, "largest k accepted per request")
+		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/")
+		grace    = flag.Duration("shutdown-grace", 5*time.Second, "drain window after SIGTERM")
+		quietLog = flag.Bool("quiet", false, "suppress per-request error logging")
+	)
+	flag.Parse()
+	if *dbPath == "" || *idxPath == "" {
+		log.Fatal("need -db and -index")
+	}
+
+	db, err := lanio.ReadDatabase(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	idx, err := lanio.LoadIndex(*idxPath, db, lan.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded index over %d graphs in %s (gamma* = %.0f)",
+		idx.Len(), time.Since(start).Round(time.Millisecond), idx.GammaStar())
+
+	cfg := lanserve.Config{
+		Index:       idx,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Timeout:     *timeout,
+		CacheSize:   *cacheSz,
+		MaxK:        *maxK,
+		EnablePprof: *pprofOn,
+	}
+	if !*quietLog {
+		cfg.Logf = log.Printf
+	}
+	srv, err := lanserve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	// The resolved address line is load-bearing: with -addr :0 it is how
+	// callers (the serve-smoke driver, scripts) learn the actual port.
+	log.Printf("listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining up to %s)", *grace)
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("forced shutdown: %v", err)
+		if cerr := httpSrv.Close(); cerr != nil && !errors.Is(cerr, http.ErrServerClosed) {
+			log.Printf("close: %v", cerr)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "lan-serve: bye")
+}

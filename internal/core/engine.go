@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -272,6 +273,17 @@ func Build(db graph.Database, trainQueries []*graph.Graph, opts Options) (*Engin
 
 // Search answers one k-ANN query.
 func (e *Engine) Search(q *graph.Graph, so SearchOptions) ([]pg.Result, QueryStats) {
+	res, stats, _ := e.SearchContext(context.Background(), q, so)
+	return res, stats
+}
+
+// SearchContext is Search with cancellation: the context is threaded into
+// the routing stage, which checks it before every distance computation, so
+// an expired deadline or a canceled request stops the query within one GED
+// call. On cancellation it returns ctx.Err() with the statistics
+// accumulated so far (Total is still stamped, so the caller can meter
+// abandoned work).
+func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOptions) ([]pg.Result, QueryStats, error) {
 	start := time.Now()
 	if so.K <= 0 {
 		so.K = 1
@@ -282,6 +294,10 @@ func (e *Engine) Search(q *graph.Graph, so SearchOptions) ([]pg.Result, QuerySta
 	tm := &timedMetric{m: e.Opts.QueryMetric}
 	cache := pg.NewDistCache(tm, e.DB, q)
 	var stats QueryStats
+	if err := ctx.Err(); err != nil {
+		stats.Total = time.Since(start)
+		return nil, stats, err
+	}
 
 	// Initial node.
 	modelStart := time.Now()
@@ -305,15 +321,23 @@ func (e *Engine) Search(q *graph.Graph, so SearchOptions) ([]pg.Result, QuerySta
 		entry = pseudoRandomEntry(q, len(e.DB))
 	}
 	stats.ModelTime += time.Since(modelStart) - distInModels
-
-	// Routing.
-	switch so.Routing {
-	case BaselineRoute:
-		res, s := pg.BeamSearch(e.Index.PG, cache, entry, so.K, so.Beam)
-		stats.NDC, stats.Explored = s.NDC, s.Explored
+	if err := ctx.Err(); err != nil {
+		stats.NDC = cache.NDC()
 		stats.DistTime = tm.elapsed
 		stats.Total = time.Since(start)
-		return res, stats
+		return nil, stats, err
+	}
+
+	// Routing.
+	var (
+		res []pg.Result
+		err error
+	)
+	switch so.Routing {
+	case BaselineRoute:
+		var s pg.Stats
+		res, s, err = pg.BeamSearchContext(ctx, e.Index.PG, cache, entry, so.K, so.Beam)
+		stats.NDC, stats.Explored = s.NDC, s.Explored
 	case OracleRoute:
 		oracle := &route.OracleRanker{
 			Cache: cache, BatchPercent: e.Opts.BatchPercent,
@@ -321,11 +345,9 @@ func (e *Engine) Search(q *graph.Graph, so SearchOptions) ([]pg.Result, QuerySta
 			// hypothetically-free ranking does not pay the query metric.
 			RankMetric: e.Opts.BuildMetric,
 		}
-		res, s := route.Route(e.Index.PG, cache, oracle, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
+		var s route.Stats
+		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, oracle, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
 		stats.NDC, stats.Explored, stats.RankerCalls = s.NDC, s.Explored, s.RankerCalls
-		stats.DistTime = tm.elapsed
-		stats.Total = time.Since(start)
-		return res, stats
 	default: // LANRoute
 		inner := e.Mrk.Ranker(e.DB, q, &stats.RankerCalls)
 		ranker := route.RankerFunc(func(node int, neighbors []int, d float64) [][]int {
@@ -334,12 +356,16 @@ func (e *Engine) Search(q *graph.Graph, so SearchOptions) ([]pg.Result, QuerySta
 			stats.ModelTime += time.Since(rs)
 			return b
 		})
-		res, s := route.Route(e.Index.PG, cache, ranker, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
+		var s route.Stats
+		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, ranker, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
 		stats.NDC, stats.Explored = s.NDC, s.Explored
-		stats.DistTime = tm.elapsed
-		stats.Total = time.Since(start)
-		return res, stats
 	}
+	stats.DistTime = tm.elapsed
+	stats.Total = time.Since(start)
+	if err != nil {
+		return nil, stats, err
+	}
+	return res, stats, nil
 }
 
 // pseudoRandomEntry derives a deterministic pseudo-random entry node from

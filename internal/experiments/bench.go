@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/lansearch/lan/internal/core"
+	"github.com/lansearch/lan/internal/dataset"
+)
+
+// BenchPoint is one (dataset, beam) row of the machine-readable benchmark
+// summary lan-bench writes to BENCH_<timestamp>.json. Latencies are
+// per-query wall times sampled individually (not derived from the batch
+// total), so the percentiles reflect the tail the serving layer would see.
+type BenchPoint struct {
+	Dataset      string  `json:"dataset"`
+	Graphs       int     `json:"graphs"`
+	Queries      int     `json:"queries"`
+	K            int     `json:"k"`
+	Beam         int     `json:"beam"`
+	BuildSeconds float64 `json:"build_seconds"`
+	RecallAtK    float64 `json:"recall_at_k"`
+	NDCMean      float64 `json:"ndc_mean"`
+	NDCMedian    float64 `json:"ndc_median"`
+	LatencyP50us float64 `json:"latency_p50_us"`
+	LatencyP90us float64 `json:"latency_p90_us"`
+	LatencyP99us float64 `json:"latency_p99_us"`
+	QPS          float64 `json:"qps"`
+}
+
+// BenchReport is the full JSON document: the protocol knobs that shaped
+// the run plus one point per (dataset, beam). GeneratedAt is stamped by
+// the caller (lan-bench) at write time.
+type BenchReport struct {
+	GeneratedAt string       `json:"generated_at,omitempty"`
+	Scale       float64      `json:"scale"`
+	K           int          `json:"k"`
+	Dim         int          `json:"dim"`
+	Epochs      int          `json:"epochs"`
+	Seed        int64        `json:"seed"`
+	Points      []BenchPoint `json:"points"`
+}
+
+// Bench measures the default LAN configuration (LAN_IS + LAN_Route) per
+// dataset and beam size, reusing any environments cache already built for
+// the figures.
+func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
+	rep := &BenchReport{Scale: p.Scale, K: p.K, Dim: p.Dim, Epochs: p.TrainEpochs, Seed: p.Seed}
+	for _, spec := range p.Specs() {
+		env, err := cache.Get(p, spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, beam := range p.Beams {
+			rep.Points = append(rep.Points, benchPoint(env, beam))
+		}
+	}
+	return rep, nil
+}
+
+func benchPoint(env *Env, beam int) BenchPoint {
+	p := env.Protocol
+	latencies := make([]float64, len(env.Test)) // microseconds
+	ndcs := make([]float64, len(env.Test))
+	var recall, total float64
+	for i, q := range env.Test {
+		start := time.Now()
+		res, stats := env.Engine.Search(q, core.SearchOptions{
+			K: p.K, Beam: beam, Initial: core.LANIS, Routing: core.LANRoute,
+		})
+		elapsed := time.Since(start)
+		latencies[i] = float64(elapsed.Microseconds())
+		ndcs[i] = float64(stats.NDC)
+		recall += dataset.Recall(res, env.Truth[i].Results)
+		total += elapsed.Seconds()
+	}
+	n := float64(len(env.Test))
+	return BenchPoint{
+		Dataset:      env.Spec.Name,
+		Graphs:       len(env.DB),
+		Queries:      len(env.Test),
+		K:            p.K,
+		Beam:         beam,
+		BuildSeconds: env.BuildTime.Seconds(),
+		RecallAtK:    recall / n,
+		NDCMean:      mean(ndcs),
+		NDCMedian:    percentile(ndcs, 0.5),
+		LatencyP50us: percentile(latencies, 0.5),
+		LatencyP90us: percentile(latencies, 0.9),
+		LatencyP99us: percentile(latencies, 0.99),
+		QPS:          n / total,
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// percentile returns the nearest-rank q-quantile (q in [0,1]) of xs,
+// leaving the input unmodified.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

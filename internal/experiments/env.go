@@ -104,6 +104,9 @@ type Env struct {
 	L2       *l2route.Index
 	Test     []*graph.Graph
 	Truth    []dataset.GroundTruth
+	// BuildTime is the wall time spent constructing and training the LAN
+	// engine and the L2route baseline (ground-truth computation excluded).
+	BuildTime time.Duration
 }
 
 // NewEnv generates the dataset, builds and trains the LAN engine and the
@@ -113,6 +116,7 @@ func NewEnv(p Protocol, spec dataset.Spec) (*Env, error) {
 	queries := dataset.Workload(db, spec, p.Queries, p.Seed+7)
 	train, _, test := dataset.Split(queries)
 
+	buildStart := time.Now()
 	eng, err := core.Build(db, train, core.Options{
 		M: 6, Dim: p.Dim, GammaKNN: 2 * p.K, // N_Q covers the 2k-NNs (the paper uses 4k at full scale)
 		BuildMetric: p.buildMetric(),
@@ -130,9 +134,10 @@ func NewEnv(p Protocol, spec dataset.Spec) (*Env, error) {
 		return nil, err
 	}
 	l2 := l2route.BuildIndex(db, enc, 6)
+	buildTime := time.Since(buildStart)
 
 	truth := dataset.ComputeGroundTruth(db, test, p.QueryMetric, p.K)
-	return &Env{Protocol: p, Spec: spec, DB: db, Engine: eng, L2: l2, Test: test, Truth: truth}, nil
+	return &Env{Protocol: p, Spec: spec, DB: db, Engine: eng, L2: l2, Test: test, Truth: truth, BuildTime: buildTime}, nil
 }
 
 // Point is one (recall, QPS) measurement of a method at one beam setting.

@@ -11,14 +11,18 @@ import (
 
 func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-// envCache memoizes environments per (protocol seed, spec name) so that
-// running several figures in one process (e.g. -exp all) builds and
-// trains each dataset's engine once.
-type envCache struct {
+// EnvCache memoizes environments per spec name so that running several
+// figures plus the bench summary in one process (e.g. -exp all) builds
+// and trains each dataset's engine once.
+type EnvCache struct {
 	byName map[string]*Env
 }
 
-func (c *envCache) get(p Protocol, spec dataset.Spec) (*Env, error) {
+// NewEnvCache returns an empty cache for sharing across RunCached/Bench.
+func NewEnvCache() *EnvCache { return &EnvCache{} }
+
+// Get returns the memoized environment for spec, building it on first use.
+func (c *EnvCache) Get(p Protocol, spec dataset.Spec) (*Env, error) {
 	if c.byName == nil {
 		c.byName = make(map[string]*Env)
 	}
@@ -37,17 +41,22 @@ func (c *envCache) get(p Protocol, spec dataset.Spec) (*Env, error) {
 // are tab1 and fig5..fig12; "all" runs everything (sharing dataset
 // environments across figures).
 func Run(w io.Writer, name string, p Protocol) error {
-	var cache envCache
-	return run(w, name, p, &cache)
+	return RunCached(w, name, p, NewEnvCache())
 }
 
-func run(w io.Writer, name string, p Protocol, cache *envCache) error {
+// RunCached is Run with a caller-owned environment cache, so follow-up
+// work (another experiment, a Bench summary) reuses the trained engines.
+func RunCached(w io.Writer, name string, p Protocol, cache *EnvCache) error {
+	return run(w, name, p, cache)
+}
+
+func run(w io.Writer, name string, p Protocol, cache *EnvCache) error {
 	switch name {
 	case "tab1":
 		Table1(w, p)
 	case "fig5", "fig6", "fig7":
 		for _, spec := range p.Specs() {
-			env, err := cache.get(p, spec)
+			env, err := cache.Get(p, spec)
 			if err != nil {
 				return err
 			}
@@ -66,7 +75,7 @@ func run(w io.Writer, name string, p Protocol, cache *envCache) error {
 		fmt.Fprintf(w, "Fig 8: accuracy of initial node prediction (M_nh)\n")
 		fmt.Fprintf(w, "  %-12s %10s %14s\n", "dataset", "precision", "avg |N̂_Q|")
 		for _, spec := range p.Specs() {
-			env, err := cache.get(p, spec)
+			env, err := cache.Get(p, spec)
 			if err != nil {
 				return err
 			}
@@ -88,7 +97,7 @@ func run(w io.Writer, name string, p Protocol, cache *envCache) error {
 		}
 	case "fig10":
 		for _, spec := range p.Specs() {
-			env, err := cache.get(p, spec)
+			env, err := cache.Get(p, spec)
 			if err != nil {
 				return err
 			}

@@ -11,6 +11,7 @@
 package l2route
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -197,6 +198,15 @@ func (x *Index) connectComponents() {
 // GED), then verify the top `verify` vector candidates with true GEDs
 // charged to cache, returning the best k by GED.
 func (x *Index) Search(q *graph.Graph, cache *pg.DistCache, k, beam, verify int) ([]pg.Result, pg.Stats) {
+	res, stats, _ := x.SearchContext(context.Background(), q, cache, k, beam, verify)
+	return res, stats
+}
+
+// SearchContext is Search with cancellation: the vector-space beam search
+// checks the context per explored node and the GED verification stage —
+// where the wall time actually goes — checks it before every distance
+// computation, so an expired deadline stops the query within one GED call.
+func (x *Index) SearchContext(ctx context.Context, q *graph.Graph, cache *pg.DistCache, k, beam, verify int) ([]pg.Result, pg.Stats, error) {
 	if verify < k {
 		verify = k
 	}
@@ -209,6 +219,9 @@ func (x *Index) Search(q *graph.Graph, cache *pg.DistCache, k, beam, verify int)
 	frontier := []vecCand{{entry, dist(entry)}}
 	results := []vecCand{{entry, dist(entry)}}
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, pg.Stats{NDC: cache.NDC(), Explored: len(visited)}, err
+		}
 		cur := frontier[0]
 		frontier = frontier[1:]
 		if len(results) >= beam && cur.d > results[len(results)-1].d {
@@ -236,6 +249,9 @@ func (x *Index) Search(q *graph.Graph, cache *pg.DistCache, k, beam, verify int)
 	}
 	verified := make([]pg.Result, 0, verify)
 	for _, c := range results[:verify] {
+		if err := ctx.Err(); err != nil {
+			return nil, pg.Stats{NDC: cache.NDC(), Explored: len(visited)}, err
+		}
 		verified = append(verified, pg.Result{ID: c.id, Dist: cache.Dist(c.id)})
 	}
 	sort.Slice(verified, func(i, j int) bool {
@@ -244,7 +260,7 @@ func (x *Index) Search(q *graph.Graph, cache *pg.DistCache, k, beam, verify int)
 	if len(verified) > k {
 		verified = verified[:k]
 	}
-	return verified, pg.Stats{NDC: cache.NDC(), Explored: len(visited)}
+	return verified, pg.Stats{NDC: cache.NDC(), Explored: len(visited)}, nil
 }
 
 // vecCand is a vector-space candidate during beam search.

@@ -1,6 +1,7 @@
 package pg
 
 import (
+	"context"
 	"sort"
 
 	"github.com/lansearch/lan/internal/order"
@@ -139,22 +140,37 @@ func (p *Pool) TopK(k int) []Result {
 // best b candidates, stopping when every pool member is explored. It
 // returns the k best along with search statistics.
 func BeamSearch(p *PG, c *DistCache, entry, k, b int) ([]Result, Stats) {
+	res, stats, _ := BeamSearchContext(context.Background(), p, c, entry, k, b)
+	return res, stats
+}
+
+// BeamSearchContext is BeamSearch with cancellation: the context is checked
+// between distance computations (the expensive unit of work), so an expired
+// deadline stops the routing within one GED call. On cancellation it returns
+// ctx.Err() along with the statistics accumulated so far.
+func BeamSearchContext(ctx context.Context, p *PG, c *DistCache, entry, k, b int) ([]Result, Stats, error) {
 	w := NewPool()
 	w.Add(entry, c.Dist(entry))
 	explored := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{NDC: c.NDC(), Explored: explored}, err
+		}
 		cur, ok := w.NextUnexplored()
 		if !ok {
 			break
 		}
 		for _, nb := range p.Neighbors(cur.ID) {
+			if err := ctx.Err(); err != nil {
+				return nil, Stats{NDC: c.NDC(), Explored: explored}, err
+			}
 			w.Add(nb, c.Dist(nb))
 		}
 		w.MarkExplored(cur.ID)
 		explored++
 		w.Resize(b)
 	}
-	return w.TopK(k), Stats{NDC: c.NDC(), Explored: explored}
+	return w.TopK(k), Stats{NDC: c.NDC(), Explored: explored}, nil
 }
 
 // searchLayer is the standard ef-search used during index construction:

@@ -9,6 +9,7 @@
 package route
 
 import (
+	"context"
 	"sort"
 
 	"github.com/lansearch/lan/ged"
@@ -129,6 +130,7 @@ type nodeState struct {
 
 // router carries the per-query state of np_route.
 type router struct {
+	ctx    context.Context
 	pg     *pg.PG
 	cache  *pg.DistCache
 	ranker Ranker
@@ -138,6 +140,21 @@ type router struct {
 	states   map[int]*nodeState
 	explored []int // exploration order
 	stats    Stats
+	err      error // first cancellation error; set once, then unwind
+}
+
+// canceled records and reports context cancellation. Every distance-paying
+// loop checks it so an expired deadline stops the routing within one GED
+// call.
+func (r *router) canceled() bool {
+	if r.err != nil {
+		return true
+	}
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		return true
+	}
+	return false
 }
 
 // state lazily ranks and batches the neighbors of node id.
@@ -168,10 +185,13 @@ func (r *router) farthestOpened(s *nodeState) (float64, bool) {
 
 // openBatch computes distances for batch j of s and adds its members to W.
 // It returns true when the batch contains a member with d >= gamma (the
-// caller must stop opening).
+// caller must stop opening) or the query is canceled.
 func (r *router) openBatch(s *nodeState, j int, gamma float64) bool {
 	hitThreshold := false
 	for _, id := range s.batches[j] {
+		if r.canceled() {
+			return true
+		}
 		d := r.cache.Dist(id)
 		r.w.Add(id, d)
 		if d >= gamma {
@@ -187,6 +207,9 @@ func (r *router) openBatch(s *nodeState, j int, gamma float64) bool {
 // farthest already-known opened neighbor is still below gamma, stopping
 // after the first batch that reaches it.
 func (r *router) rankExpl(id int, gamma, dCurrent float64) {
+	if r.canceled() {
+		return
+	}
 	s := r.state(id, dCurrent)
 	if far, ok := r.farthestOpened(s); ok && far >= gamma {
 		return
@@ -202,6 +225,9 @@ func (r *router) rankExpl(id int, gamma, dCurrent float64) {
 // id with distance below gamma is in W — re-adding known members of opened
 // batches and opening new batches as needed.
 func (r *router) allQualiNeigh(id int, gamma float64) {
+	if r.canceled() {
+		return
+	}
 	s := r.states[id] // explored nodes always have state
 	for j := 0; j < s.opened; j++ {
 		hit := false
@@ -234,9 +260,18 @@ func (r *router) markExplored(id int) {
 // Route runs np_route (Algorithm 2) from the given entry node and returns
 // the k-ANNs with routing statistics.
 func Route(p *pg.PG, cache *pg.DistCache, ranker Ranker, entry int, cfg Config) ([]pg.Result, Stats) {
+	res, stats, _ := RouteContext(context.Background(), p, cache, ranker, entry, cfg)
+	return res, stats
+}
+
+// RouteContext is Route with cancellation: the context is checked before
+// every distance computation, so an expired deadline stops the routing
+// within one GED call. On cancellation it returns ctx.Err() along with the
+// statistics accumulated so far.
+func RouteContext(ctx context.Context, p *pg.PG, cache *pg.DistCache, ranker Ranker, entry int, cfg Config) ([]pg.Result, Stats, error) {
 	cfg.defaults()
 	r := &router{
-		pg: p, cache: cache, ranker: ranker, cfg: cfg,
+		ctx: ctx, pg: p, cache: cache, ranker: ranker, cfg: cfg,
 		w: pg.NewPool(), states: make(map[int]*nodeState),
 	}
 
@@ -244,7 +279,7 @@ func Route(p *pg.PG, cache *pg.DistCache, ranker Ranker, entry int, cfg Config) 
 	// first local optimum.
 	r.w.Add(entry, cache.Dist(entry))
 	cur, _ := r.w.Best()
-	for !r.w.Explored(cur.ID) {
+	for !r.w.Explored(cur.ID) && !r.canceled() {
 		r.rankExpl(cur.ID, cur.Dist, cur.Dist)
 		r.markExplored(cur.ID)
 		r.w.Resize(cfg.Beam)
@@ -255,17 +290,17 @@ func Route(p *pg.PG, cache *pg.DistCache, ranker Ranker, entry int, cfg Config) 
 	// threshold gamma.
 	flo, _ := r.w.Best()
 	gamma := flo.Dist + cfg.StepSize
-	for {
+	for r.err == nil {
 		for _, id := range append([]int(nil), r.explored...) {
 			r.allQualiNeigh(id, gamma)
 		}
 		r.w.Resize(cfg.Beam)
-		if r.w.AllExplored() {
+		if r.w.AllExplored() || r.canceled() {
 			break
 		}
 		for {
 			c, ok := r.w.NextUnexploredWithin(gamma)
-			if !ok {
+			if !ok || r.canceled() {
 				break
 			}
 			r.rankExpl(c.ID, gamma, c.Dist)
@@ -276,5 +311,8 @@ func Route(p *pg.PG, cache *pg.DistCache, ranker Ranker, entry int, cfg Config) 
 	}
 
 	r.stats.NDC = cache.NDC()
-	return r.w.TopK(cfg.K), r.stats
+	if r.err != nil {
+		return nil, r.stats, r.err
+	}
+	return r.w.TopK(cfg.K), r.stats, nil
 }

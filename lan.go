@@ -29,6 +29,7 @@
 package lan
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -164,12 +165,24 @@ func Build(db graph.Database, trainQueries []*graph.Graph, o Options) (*Index, e
 
 // Search returns the approximate k nearest neighbors of q.
 func (x *Index) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
+	return x.SearchContext(context.Background(), q, so)
+}
+
+// SearchContext is Search with cancellation: the context is threaded
+// through the routing pipeline, which checks it before every GED
+// computation, so an expired deadline or a canceled request stops the
+// query within one distance call and returns ctx.Err(). The returned
+// Stats meter the work done up to the cancellation point.
+func (x *Index) SearchContext(ctx context.Context, q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
 	if q == nil || so.K <= 0 {
 		return nil, Stats{}, fmt.Errorf("lan: need a query graph and K > 0")
 	}
-	res, stats := x.engine.Search(q, core.SearchOptions{
+	res, stats, err := x.engine.SearchContext(ctx, q, core.SearchOptions{
 		K: so.K, Beam: so.Beam, Initial: so.Initial, Routing: so.Routing,
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 	out := make([]Result, len(res))
 	for i, r := range res {
 		out[i] = Result{ID: r.ID, Dist: r.Dist}
@@ -181,6 +194,36 @@ func (x *Index) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats, error
 // and model parameters) to w. The database itself is not included; store
 // it separately (e.g. with graph.WriteText) and re-supply it to Load.
 func (x *Index) Save(w io.Writer) error { return x.engine.Save(w) }
+
+// WriteTo implements io.WriterTo: it serializes the index like Save and
+// reports the number of bytes written, so the snapshot composes with
+// io.Copy-style plumbing (files, network conns, hash writers).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if err := x.engine.Save(cw); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadIndex restores an index written by WriteTo (or Save) over the same
+// database; it is the reader-side pair of WriteTo. The GED metrics are
+// code and must be re-supplied via Options (zero-value defaults match
+// Build's).
+func ReadIndex(db graph.Database, r io.Reader, o Options) (*Index, error) {
+	return Load(db, r, o)
+}
 
 // Load restores an index saved with Save over the same database. The GED
 // metrics are code and must be re-supplied via Options (zero-value

@@ -6,6 +6,7 @@ package lanio
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/lansearch/lan"
@@ -58,4 +59,36 @@ func BuildIndex(db graph.Database, queries []*graph.Graph, p BuildParams) (*lan.
 	return lan.Build(db, queries, lan.Options{
 		Dim: p.Dim, M: p.M, Epochs: p.Epochs, GammaKNN: p.GammaKNN, Seed: p.Seed,
 	})
+}
+
+// SaveIndex writes a trained index snapshot to path (atomically: the
+// snapshot lands under a temporary name and is renamed into place, so a
+// crash mid-write never leaves a truncated index for lan-serve to load).
+func SaveIndex(path string, idx *lan.Index) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := idx.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadIndex restores an index snapshot from path over db (the database
+// lan-train built it on, reloaded with ReadDatabase). Options supply the
+// GED metrics; the zero value matches lan-train's defaults.
+func LoadIndex(path string, db graph.Database, o lan.Options) (*lan.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lan.ReadIndex(db, f, o)
 }

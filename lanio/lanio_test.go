@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"github.com/lansearch/lan"
 	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/internal/dataset"
 )
@@ -65,6 +66,68 @@ func TestReadQueriesStripsIDs(t *testing.T) {
 		if q.ID != -1 {
 			t.Fatalf("query %d kept ID %d", i, q.ID)
 		}
+	}
+}
+
+func TestSaveLoadIndexRoundTrip(t *testing.T) {
+	spec := dataset.AIDS(0.002)
+	db := spec.Generate()
+	queries := dataset.Workload(db, spec, 12, 3)
+	train, _, test := dataset.Split(queries)
+	idx, err := BuildIndex(db, train, BuildParams{Dim: 6, M: 4, Epochs: 1, GammaKNN: 5, Seed: 3})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "idx.lan")
+	if err := SaveIndex(path, idx); err != nil {
+		t.Fatalf("SaveIndex: %v", err)
+	}
+	// Atomic write: no leftover temp files next to the snapshot.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files after SaveIndex: %v", entries)
+	}
+
+	loaded, err := LoadIndex(path, db, lan.Options{})
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("Len = %d; want %d", loaded.Len(), idx.Len())
+	}
+	for qi, q := range test {
+		want, _, err := idx.Search(q, lan.SearchOptions{K: 3, Beam: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := loaded.Search(q, lan.SearchOptions{K: 3, Beam: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results; want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: %+v != %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSaveIndexUnwritableDir(t *testing.T) {
+	spec := dataset.AIDS(0.001)
+	db := spec.Generate()
+	idx, err := BuildIndex(db, dataset.Workload(db, spec, 4, 1), BuildParams{Dim: 4, M: 3, Epochs: 1, GammaKNN: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndex(filepath.Join(t.TempDir(), "missing", "idx.lan"), idx); err == nil {
+		t.Fatal("SaveIndex into a missing directory succeeded")
 	}
 }
 

@@ -1,0 +1,92 @@
+package lanserve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"github.com/lansearch/lan/graph"
+)
+
+// resultCache is a fixed-capacity LRU over finished search responses.
+//
+// Keys are the query graph's canonical Weisfeiler-Lehman hash (graph.Hash)
+// joined with the search parameters, so two structurally identical queries
+// — regardless of node ordering — share an entry. A LAN index is immutable
+// after Build, which makes the cache invalidation-free: an entry can only
+// become wrong if the index changes, and it never does. The WL hash is a
+// complete isomorphism test only up to WL-equivalence at the configured
+// refinement depth; graphs that WL cannot distinguish at that depth would
+// share an entry, which is the standard (and in labeled ANN workloads
+// vanishingly rare) approximation this keying accepts.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp *SearchResponse
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// cacheKey derives the canonical key of one (query, parameters) pair.
+// wlDepth is the WL refinement depth of the hash.
+func cacheKey(q *graph.Graph, wlDepth int, so searchParams) string {
+	return fmt.Sprintf("%s|k=%d|b=%d|r=%d|i=%d", graph.Hash(q, wlDepth), so.K, so.Beam, so.Routing, so.Initial)
+}
+
+// get returns the cached response for key and refreshes its recency.
+func (c *resultCache) get(key string) (*SearchResponse, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) put(key string, resp *SearchResponse) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	c.items[key] = el
+	if c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

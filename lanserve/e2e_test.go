@@ -1,0 +1,243 @@
+package lanserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/dataset"
+)
+
+// throttledMetric wraps a GED metric with a switchable per-call sleep, so
+// tests can make queries arbitrarily slow (deadline and saturation
+// scenarios) without touching the search code. DelayNS is atomic: the
+// sleeping is toggled while searches run concurrently.
+type throttledMetric struct {
+	inner   ged.Metric
+	delayNS atomic.Int64
+}
+
+func (m *throttledMetric) Distance(a, b *graph.Graph) float64 {
+	if d := m.delayNS.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return m.inner.Distance(a, b)
+}
+
+// e2eFixture is the shared built index; building takes a few seconds, so
+// every e2e scenario reuses it.
+var e2e struct {
+	once   sync.Once
+	idx    *lan.Index
+	metric *throttledMetric
+	test   []*graph.Graph
+	err    error
+}
+
+func e2eIndex(t *testing.T) (*lan.Index, *throttledMetric, []*graph.Graph) {
+	t.Helper()
+	e2e.once.Do(func() {
+		spec := dataset.AIDS(0.002)
+		db := spec.Generate()
+		queries := dataset.Workload(db, spec, 12, 5)
+		train, _, test := dataset.Split(queries)
+		e2e.metric = &throttledMetric{inner: ged.MetricFunc(ged.Hungarian)}
+		e2e.idx, e2e.err = lan.Build(db, train, lan.Options{
+			M: 4, Dim: 6, GammaKNN: 5, Epochs: 1, Seed: 7,
+			QueryMetric: e2e.metric,
+		})
+		e2e.test = test
+	})
+	if e2e.err != nil {
+		t.Fatalf("building e2e index: %v", e2e.err)
+	}
+	return e2e.idx, e2e.metric, e2e.test
+}
+
+func searchBody(t *testing.T, q *graph.Graph, k int, extra map[string]interface{}) io.Reader {
+	t.Helper()
+	req := map[string]interface{}{"query": q, "k": k}
+	for kk, v := range extra {
+		req[kk] = v
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func postSearch(t *testing.T, ts *httptest.Server, body io.Reader) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/search", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestEndToEnd covers the PR's acceptance scenarios against a real built
+// index served over real HTTP.
+func TestEndToEnd(t *testing.T) {
+	idx, metric, test := e2eIndex(t)
+	q := test[0]
+
+	t.Run("ResponseMatchesLibrarySearch", func(t *testing.T) {
+		srv, err := New(Config{Index: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		want, _, err := idx.Search(q, lan.SearchOptions{K: 5, Beam: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, data := postSearch(t, ts, searchBody(t, q, 5, map[string]interface{}{"beam": 12}))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d body=%s", resp.StatusCode, data)
+		}
+		var got SearchResponse
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != len(want) {
+			t.Fatalf("got %d results, want %d", len(got.Results), len(want))
+		}
+		for i := range want {
+			if got.Results[i] != want[i] {
+				t.Fatalf("result %d: HTTP %+v != library %+v", i, got.Results[i], want[i])
+			}
+		}
+		if got.Stats.NDC <= 0 || got.Stats.PruningRate <= 0 {
+			t.Fatalf("missing cost telemetry: %+v", got.Stats)
+		}
+	})
+
+	t.Run("RepeatedQueryIsCacheHitInMetrics", func(t *testing.T) {
+		srv, err := New(Config{Index: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		for i := 0; i < 2; i++ {
+			resp, data := postSearch(t, ts, searchBody(t, q, 5, nil))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("request %d: status = %d body=%s", i, resp.StatusCode, data)
+			}
+			var sr SearchResponse
+			if err := json.Unmarshal(data, &sr); err != nil {
+				t.Fatal(err)
+			}
+			if sr.Cached != (i == 1) {
+				t.Fatalf("request %d: cached = %v", i, sr.Cached)
+			}
+		}
+		mresp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdata, _ := io.ReadAll(mresp.Body)
+		mresp.Body.Close()
+		if !strings.Contains(string(mdata), "lanserve_cache_hits_total 1") {
+			t.Fatalf("/metrics missing the cache hit:\n%s", mdata)
+		}
+		if !strings.Contains(string(mdata), "lanserve_query_ndc_count 1") {
+			t.Fatalf("/metrics missing the NDC histogram:\n%s", mdata)
+		}
+	})
+
+	t.Run("TightDeadlineIs504WithoutBlockingPool", func(t *testing.T) {
+		srv, err := New(Config{Index: idx, Workers: 1, CacheSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		// Slow every GED call down so the query cannot finish in 1ms.
+		metric.delayNS.Store(int64(2 * time.Millisecond))
+		defer metric.delayNS.Store(0)
+
+		resp, data := postSearch(t, ts, searchBody(t, q, 5, map[string]interface{}{"timeout_ms": 1}))
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status = %d body=%s; want 504", resp.StatusCode, data)
+		}
+
+		// The single worker is free again: a normal query succeeds.
+		metric.delayNS.Store(0)
+		resp, data = postSearch(t, ts, searchBody(t, q, 5, nil))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("follow-up status = %d body=%s; want 200", resp.StatusCode, data)
+		}
+	})
+
+	t.Run("SaturationYields429WhileInFlightCompletes", func(t *testing.T) {
+		srv, err := New(Config{Index: idx, Workers: 1, QueueDepth: 1, CacheSize: -1, Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		metric.delayNS.Store(int64(5 * time.Millisecond))
+		defer metric.delayNS.Store(0)
+
+		// Two slow requests occupy the worker and the queue slot.
+		var wg sync.WaitGroup
+		codes := make([]int, 2)
+		for i := range codes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, _ := postSearch(t, ts, searchBody(t, q, 5, nil))
+				codes[i] = resp.StatusCode
+			}(i)
+		}
+		// Wait until both are inside the pool, then saturate.
+		deadline := time.Now().Add(5 * time.Second)
+		for len(srv.pool.admit) < 2 {
+			if time.Now().After(deadline) {
+				t.Fatal("requests never filled the pool")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		resp, data := postSearch(t, ts, searchBody(t, q, 5, nil))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d body=%s; want 429", resp.StatusCode, data)
+		}
+
+		metric.delayNS.Store(0)
+		wg.Wait()
+		for i, code := range codes {
+			if code != http.StatusOK {
+				t.Fatalf("in-flight request %d = %d; want 200", i, code)
+			}
+		}
+		var sb strings.Builder
+		if _, err := srv.Metrics().WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "lanserve_rejected_total 1") {
+			t.Fatalf("metrics missing rejection:\n%s", sb.String())
+		}
+	})
+}

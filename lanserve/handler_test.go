@@ -1,0 +1,246 @@
+package lanserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/graph"
+)
+
+func testQueryJSON(t *testing.T, extra string) *bytes.Reader {
+	t.Helper()
+	q := `{"query":{"labels":["A","B"],"edges":[[0,1]]},"k":2` + extra + `}`
+	return bytes.NewReader([]byte(q))
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Index == nil {
+		cfg.Index = &fakeSearcher{
+			results: []lan.Result{{ID: 3, Dist: 1}, {ID: 7, Dist: 2}},
+			stats:   lan.Stats{NDC: 5, Explored: 2},
+			n:       50,
+		}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func doSearch(s *Server, body *bytes.Reader) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/search", body))
+	return rec
+}
+
+func TestHandlerSearchOKAndCacheHit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doSearch(s, testQueryJSON(t, ""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached || len(resp.Results) != 2 || resp.Stats.NDC != 5 {
+		t.Fatalf("bad response: %+v", resp)
+	}
+	if resp.Stats.PruningRate != 1-5.0/50 {
+		t.Fatalf("pruning rate = %v", resp.Stats.PruningRate)
+	}
+
+	// Same query again: served from cache.
+	rec = doSearch(s, testQueryJSON(t, ""))
+	var resp2 SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Fatalf("expected cache hit: %+v", resp2)
+	}
+	if s.Metrics().CacheHits() != 1 {
+		t.Fatalf("cache hits = %d; want 1", s.Metrics().CacheHits())
+	}
+
+	// The hit is visible on /metrics.
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mrec.Body.String(), "lanserve_cache_hits_total 1") {
+		t.Fatalf("metrics missing cache hit:\n%s", mrec.Body)
+	}
+}
+
+func TestHandlerBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []string{
+		`not json`,
+		`{"k":3}`, // no query
+		`{"query":{"labels":[],"edges":[]},"k":3}`,    // empty graph
+		`{"query":{"labels":["A"],"edges":[]},"k":0}`, // k = 0
+		`{"query":{"labels":["A"],"edges":[]},"k":1,"routing":"warp"}`,
+		`{"query":{"labels":["A"],"edges":[]},"k":1,"initial":"teleport"}`,
+	}
+	for _, body := range cases {
+		rec := doSearch(s, bytes.NewReader([]byte(body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d; want 400", body, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search = %d; want 405", rec.Code)
+	}
+}
+
+func TestHandlerDeadlineReturns504(t *testing.T) {
+	s := newTestServer(t, Config{
+		Index: &fakeSearcher{delay: 200 * time.Millisecond, n: 10},
+	})
+	start := time.Now()
+	rec := doSearch(s, testQueryJSON(t, `,"timeout_ms":1`))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d body=%s; want 504", rec.Code, rec.Body)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("504 took %s; deadline not enforced", elapsed)
+	}
+	// The pool is free again: an unconstrained request succeeds.
+	if rec := doSearch(s, testQueryJSON(t, `,"no_cache":true`)); rec.Code != http.StatusOK {
+		t.Fatalf("follow-up = %d body=%s; want 200", rec.Code, rec.Body)
+	}
+}
+
+func TestHandlerAdmissionControl429(t *testing.T) {
+	gate := make(chan struct{})
+	slow := &slowSearcher{gate: gate, n: 10}
+	s := newTestServer(t, Config{Index: slow, Workers: 1, QueueDepth: 1, CacheSize: -1})
+
+	// Fill the worker and the queue with two in-flight requests.
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = doSearch(s, testQueryJSON(t, "")).Code
+		}(i)
+	}
+	waitFor(t, func() bool { return slow.started.Load() >= 1 })
+	waitFor(t, func() bool { return len(s.pool.admit) == 2 })
+
+	// The system is full: the third request is refused immediately.
+	start := time.Now()
+	rec := doSearch(s, testQueryJSON(t, ""))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d; want 429", rec.Code)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("429 was not immediate")
+	}
+
+	// In-flight queries still complete once unblocked.
+	close(gate)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request %d = %d; want 200", i, code)
+		}
+	}
+
+	var sb strings.Builder
+	if _, err := s.Metrics().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lanserve_rejected_total 1") {
+		t.Fatalf("metrics missing rejection:\n%s", sb.String())
+	}
+}
+
+func TestHandlerPanicRecoveredAs500(t *testing.T) {
+	s := newTestServer(t, Config{Index: &panickySearcher{}})
+	rec := doSearch(s, testQueryJSON(t, ""))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d; want 500", rec.Code)
+	}
+	var sb strings.Builder
+	if _, err := s.Metrics().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lanserve_panics_total 1") {
+		t.Fatalf("panic not counted:\n%s", sb.String())
+	}
+	// The server is still alive.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after panic = %d", rec.Code)
+	}
+}
+
+func TestReadyzDraining(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz = %d; want 200", rec.Code)
+	}
+	s.BeginDrain()
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d; want 503", rec.Code)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// slowSearcher blocks until its gate closes (or the context dies).
+type slowSearcher struct {
+	gate    chan struct{}
+	started atomic.Int32
+	n       int
+}
+
+func (s *slowSearcher) SearchContext(ctx context.Context, q *graph.Graph, so lan.SearchOptions) ([]lan.Result, lan.Stats, error) {
+	s.started.Add(1)
+	select {
+	case <-s.gate:
+		return []lan.Result{{ID: 1, Dist: 0}}, lan.Stats{NDC: 1}, nil
+	case <-ctx.Done():
+		return nil, lan.Stats{}, ctx.Err()
+	}
+}
+
+func (s *slowSearcher) Len() int { return s.n }
+
+// panickySearcher exercises the recovery middleware.
+type panickySearcher struct{}
+
+func (p *panickySearcher) SearchContext(ctx context.Context, q *graph.Graph, so lan.SearchOptions) ([]lan.Result, lan.Stats, error) {
+	panic(fmt.Sprintf("query with %d nodes hit a bug", q.N()))
+}
+
+func (p *panickySearcher) Len() int { return 1 }

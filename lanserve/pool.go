@@ -1,0 +1,62 @@
+package lanserve
+
+import "context"
+
+// workerPool bounds concurrent searches with two nested semaphores:
+//
+//   - admit caps the total number of requests in the system (executing +
+//     waiting). Admission is non-blocking: when the system is full the
+//     request is refused immediately (the server turns that into a 429),
+//     which keeps overload cheap — a saturated server spends no memory or
+//     scheduling on work it cannot take on.
+//   - work caps the searches actually executing. An admitted request waits
+//     for a worker slot, but only as long as its deadline allows: the wait
+//     select also watches the request context, so a queued request whose
+//     deadline expires leaves the queue without ever occupying a worker.
+//
+// Both channels are used as counting semaphores; no goroutines are spawned
+// — the request's own goroutine executes the search, so cancellation and
+// panic propagation follow the standard net/http paths.
+type workerPool struct {
+	admit chan struct{}
+	work  chan struct{}
+}
+
+func newWorkerPool(workers, queueDepth int) *workerPool {
+	return &workerPool{
+		admit: make(chan struct{}, workers+queueDepth),
+		work:  make(chan struct{}, workers),
+	}
+}
+
+// tryAdmit claims an admission slot without blocking. The caller must
+// release it with leave (directly, or through the release returned by
+// acquireWorker).
+func (p *workerPool) tryAdmit() bool {
+	select {
+	case p.admit <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// leave releases an admission slot claimed by tryAdmit.
+func (p *workerPool) leave() { <-p.admit }
+
+// acquireWorker blocks until a worker slot frees up or ctx is done. On
+// success it returns a release function covering both slots; on
+// cancellation it releases the admission slot itself and returns ctx's
+// error.
+func (p *workerPool) acquireWorker(ctx context.Context) (release func(), err error) {
+	select {
+	case p.work <- struct{}{}:
+		return func() {
+			<-p.work
+			p.leave()
+		}, nil
+	case <-ctx.Done():
+		p.leave()
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,431 @@
+// Package lanserve is the query-serving subsystem: a stdlib-only HTTP/JSON
+// server over a built LAN index (flat or sharded) with admission control,
+// per-request deadlines, an LRU result cache keyed by the query's canonical
+// WL hash, and first-class observability. The paper's contribution is
+// cutting expensive GED calls during routing; the serving layer meters
+// exactly that — NDC, routing steps and pruning rate are exported per query
+// on /metrics alongside the usual request/error/latency signals.
+//
+// Endpoints:
+//
+//	POST /search   — answer one k-ANN query (JSON in/out)
+//	GET  /metrics  — Prometheus text exposition
+//	GET  /healthz  — process liveness (always 200)
+//	GET  /readyz   — readiness; 503 while draining
+//	     /debug/pprof/* — opt-in (Config.EnablePprof)
+//
+// The server is an http.Handler; cmd/lan-serve wires it to an http.Server
+// with index loading and graceful shutdown.
+package lanserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/graph"
+)
+
+// HTTP status aliases shared with metrics.go.
+const (
+	statusTooManyRequests = http.StatusTooManyRequests
+	statusGatewayTimeout  = http.StatusGatewayTimeout
+)
+
+// Searcher is the index the server fronts. Both *lan.Index and
+// *lan.ShardedIndex implement it. Implementations must be safe for
+// concurrent SearchContext calls (the defaults are) and immutable for the
+// server's lifetime — the result cache relies on immutability for its
+// invalidation-free design.
+type Searcher interface {
+	SearchContext(ctx context.Context, q *graph.Graph, so lan.SearchOptions) ([]lan.Result, lan.Stats, error)
+	Len() int
+}
+
+// Config configures a Server. Index is required; every other field has a
+// serving-safe default.
+type Config struct {
+	// Index is the built index to serve (required).
+	Index Searcher
+	// Workers caps concurrently executing searches (default GOMAXPROCS).
+	Workers int
+	// QueueDepth caps admitted-but-waiting searches beyond Workers;
+	// requests beyond Workers+QueueDepth are refused with 429 (default 64).
+	QueueDepth int
+	// Timeout is the per-request deadline (default 10s). A request may
+	// lower it via timeout_ms but never raise it.
+	Timeout time.Duration
+	// CacheSize is the LRU result-cache capacity in entries (default
+	// 1024; negative disables caching).
+	CacheSize int
+	// WLDepth is the Weisfeiler-Lehman refinement depth of the cache key
+	// (default 2). Deeper keys distinguish more non-isomorphic queries at
+	// slightly higher hashing cost.
+	WLDepth int
+	// MaxK and MaxBeam clamp per-request parameters (defaults 100, 4096).
+	MaxK, MaxBeam int
+	// MaxBodyBytes caps the /search request body (default 8 MiB).
+	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logf, when set, receives one line per failed request and recovered
+	// panic (e.g. log.Printf). Nil means silent.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *Config) defaults() error {
+	if c.Index == nil {
+		return errors.New("lanserve: Config.Index is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.WLDepth <= 0 {
+		c.WLDepth = 2
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 100
+	}
+	if c.MaxBeam <= 0 {
+		c.MaxBeam = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return nil
+}
+
+// Server serves k-ANN queries over one immutable index.
+type Server struct {
+	cfg     Config
+	pool    *workerPool
+	cache   *resultCache
+	metrics *Metrics
+	handler http.Handler
+	ready   atomic.Bool
+}
+
+// New validates cfg, applies defaults and returns a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheSize),
+		metrics: newMetrics(),
+	}
+	s.ready.Store(true)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = s.recovered(mux)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (panic recovery included).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Metrics exposes the server's registry (for embedding and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// BeginDrain flips /readyz to 503 so load balancers stop sending new
+// traffic; call it before http.Server.Shutdown, which then drains the
+// connections that are already in flight.
+func (s *Server) BeginDrain() { s.ready.Store(false) }
+
+// recovered is the panic-to-500 middleware. Handler panics are recovered,
+// counted, and answered with a JSON 500 — one bad request must not abort
+// the process serving everyone else. (The lan library itself returns
+// errors rather than panicking — the lan-lint libpanic policy — so this is
+// defense in depth, not a license.)
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.Panic()
+				s.metrics.Error(http.StatusInternalServerError)
+				s.logf("panic serving %s: %v", r.URL.Path, v)
+				writeJSONError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("lanserve: "+format, args...)
+	}
+}
+
+// SearchRequest is the JSON body of POST /search.
+type SearchRequest struct {
+	// Query is the query graph ({"labels": [...], "edges": [[u,v], ...]}).
+	Query *graph.Graph `json:"query"`
+	// K is the number of neighbors to return (required, clamped to MaxK).
+	K int `json:"k"`
+	// Beam is the candidate pool size (default K, clamped to MaxBeam).
+	Beam int `json:"beam,omitempty"`
+	// Routing is "lan" (default), "baseline" or "oracle".
+	Routing string `json:"routing,omitempty"`
+	// Initial is "lan" (default), "hnsw" or "rand".
+	Initial string `json:"initial,omitempty"`
+	// TimeoutMS lowers the server's per-request deadline for this query.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache (the response is still stored).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// SearchResponse is the JSON body of a successful /search.
+type SearchResponse struct {
+	Results []lan.Result `json:"results"`
+	Stats   SearchStats  `json:"stats"`
+	// Cached reports whether the response was served from the result
+	// cache; Stats then describe the original computation.
+	Cached bool `json:"cached"`
+}
+
+// SearchStats is the wire form of the per-query cost breakdown.
+type SearchStats struct {
+	NDC           int     `json:"ndc"`
+	Explored      int     `json:"routing_steps"`
+	RankerCalls   int     `json:"ranker_calls"`
+	ISPredictions int     `json:"is_predictions"`
+	PruningRate   float64 `json:"pruning_rate"`
+	DistMicros    int64   `json:"dist_us"`
+	ModelMicros   int64   `json:"model_us"`
+	TotalMicros   int64   `json:"total_us"`
+}
+
+// errorResponse is the JSON body of every non-200 /search outcome.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// searchParams are the validated, clamped search knobs (also the cache-key
+// payload).
+type searchParams struct {
+	K, Beam int
+	Routing lan.RoutingStrategy
+	Initial lan.InitialStrategy
+}
+
+func (s *Server) parseRequest(r *http.Request) (*SearchRequest, searchParams, error) {
+	var req SearchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		return nil, searchParams{}, fmt.Errorf("bad request body: %v", err)
+	}
+	if req.Query == nil || req.Query.N() == 0 {
+		return nil, searchParams{}, errors.New("need a non-empty query graph")
+	}
+	if err := req.Query.Validate(); err != nil {
+		return nil, searchParams{}, fmt.Errorf("bad query graph: %v", err)
+	}
+	if req.K <= 0 {
+		return nil, searchParams{}, errors.New("need k > 0")
+	}
+	p := searchParams{K: req.K, Beam: req.Beam}
+	if p.K > s.cfg.MaxK {
+		p.K = s.cfg.MaxK
+	}
+	if p.Beam < p.K {
+		p.Beam = p.K
+	}
+	if p.Beam > s.cfg.MaxBeam {
+		p.Beam = s.cfg.MaxBeam
+	}
+	switch req.Routing {
+	case "", "lan":
+		p.Routing = lan.LANRoute
+	case "baseline":
+		p.Routing = lan.BaselineRoute
+	case "oracle":
+		p.Routing = lan.OracleRoute
+	default:
+		return nil, searchParams{}, fmt.Errorf("unknown routing %q (want lan, baseline or oracle)", req.Routing)
+	}
+	switch req.Initial {
+	case "", "lan":
+		p.Initial = lan.LANIS
+	case "hnsw":
+		p.Initial = lan.HNSWIS
+	case "rand":
+		p.Initial = lan.RandIS
+	default:
+		return nil, searchParams{}, fmt.Errorf("unknown initial %q (want lan, hnsw or rand)", req.Initial)
+	}
+	return &req, p, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	start := time.Now()
+	s.metrics.Request()
+	fail := func(code int, msg string) {
+		s.metrics.Error(code)
+		s.metrics.ObserveLatency(time.Since(start).Seconds())
+		s.logf("search: %d %s", code, msg)
+		writeJSONError(w, code, msg)
+	}
+
+	req, params, err := s.parseRequest(r)
+	if err != nil {
+		fail(http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Cache lookup before admission: hits cost no worker and no GED.
+	var key string
+	if s.cache != nil {
+		key = cacheKey(req.Query, s.cfg.WLDepth, params)
+		if !req.NoCache {
+			if resp, ok := s.cache.get(key); ok {
+				s.metrics.Cache(true)
+				s.metrics.ObserveLatency(time.Since(start).Seconds())
+				hit := *resp
+				hit.Cached = true
+				writeJSON(w, http.StatusOK, &hit)
+				return
+			}
+		}
+		s.metrics.Cache(false)
+	}
+
+	// Deadline: the server's ceiling, lowered by the request if asked.
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission control: refuse instantly when the system is full.
+	if !s.pool.tryAdmit() {
+		fail(http.StatusTooManyRequests, "admission queue full")
+		return
+	}
+	s.metrics.QueueEnter()
+	release, err := s.pool.acquireWorker(ctx)
+	s.metrics.QueueExit()
+	if err != nil {
+		// Deadline expired (or client left) while queued; the admission
+		// slot has already been released by acquireWorker.
+		fail(http.StatusGatewayTimeout, "deadline expired while queued")
+		return
+	}
+
+	s.metrics.WorkStart()
+	res, stats, err := s.cfg.Index.SearchContext(ctx, req.Query, lan.SearchOptions{
+		K: params.K, Beam: params.Beam, Routing: params.Routing, Initial: params.Initial,
+	})
+	s.metrics.WorkEnd()
+	release()
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fail(http.StatusGatewayTimeout, "deadline expired during search")
+		case errors.Is(err, context.Canceled):
+			fail(http.StatusGatewayTimeout, "request canceled")
+		default:
+			fail(http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+
+	indexSize := s.cfg.Index.Len()
+	pruning := 0.0
+	if indexSize > 0 {
+		pruning = 1 - float64(stats.NDC)/float64(indexSize)
+	}
+	resp := &SearchResponse{
+		Results: res,
+		Stats: SearchStats{
+			NDC:           stats.NDC,
+			Explored:      stats.Explored,
+			RankerCalls:   stats.RankerCalls,
+			ISPredictions: stats.ISPredictions,
+			PruningRate:   pruning,
+			DistMicros:    stats.DistTime.Microseconds(),
+			ModelMicros:   stats.ModelTime.Microseconds(),
+			TotalMicros:   stats.Total.Microseconds(),
+		},
+	}
+	if s.cache != nil {
+		s.cache.put(key, resp)
+	}
+	s.metrics.ObserveQuery(stats.NDC, stats.Explored, indexSize)
+	s.metrics.ObserveLatency(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.metrics.WriteTo(w); err != nil {
+		s.logf("metrics: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

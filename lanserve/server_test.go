@@ -1,0 +1,215 @@
+package lanserve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/graph"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	a := &SearchResponse{Stats: SearchStats{NDC: 1}}
+	b := &SearchResponse{Stats: SearchStats{NDC: 2}}
+	d := &SearchResponse{Stats: SearchStats{NDC: 3}}
+	c.put("a", a)
+	c.put("b", b)
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("d", d)
+	if c.len() != 2 {
+		t.Fatalf("len = %d; want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if got, ok := c.get("a"); !ok || got.Stats.NDC != 1 {
+		t.Fatalf("a lost: %+v ok=%v", got, ok)
+	}
+	if got, ok := c.get("d"); !ok || got.Stats.NDC != 3 {
+		t.Fatalf("d lost: %+v ok=%v", got, ok)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	var c *resultCache // CacheSize < 0 yields a nil cache
+	c.put("k", &SearchResponse{})
+	if _, ok := c.get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("nil cache non-empty")
+	}
+}
+
+func TestCacheKeyCanonicalUnderNodeReordering(t *testing.T) {
+	// The same labeled triangle built in two node orders must share a key;
+	// a structurally different graph must not.
+	g1 := graph.New(-1)
+	g1.AddNode("A")
+	g1.AddNode("B")
+	g1.AddNode("C")
+	g1.MustAddEdge(0, 1)
+	g1.MustAddEdge(1, 2)
+	g1.MustAddEdge(0, 2)
+
+	g2 := graph.New(-1)
+	g2.AddNode("C")
+	g2.AddNode("A")
+	g2.AddNode("B")
+	g2.MustAddEdge(1, 2)
+	g2.MustAddEdge(2, 0)
+	g2.MustAddEdge(1, 0)
+
+	g3 := graph.New(-1) // path, not triangle
+	g3.AddNode("A")
+	g3.AddNode("B")
+	g3.AddNode("C")
+	g3.MustAddEdge(0, 1)
+	g3.MustAddEdge(1, 2)
+
+	p := searchParams{K: 5, Beam: 10}
+	k1 := cacheKey(g1, 2, p)
+	k2 := cacheKey(g2, 2, p)
+	k3 := cacheKey(g3, 2, p)
+	if k1 != k2 {
+		t.Fatalf("isomorphic queries got distinct keys:\n%s\n%s", k1, k2)
+	}
+	if k1 == k3 {
+		t.Fatalf("distinct queries share a key: %s", k1)
+	}
+	if kp := cacheKey(g1, 2, searchParams{K: 6, Beam: 10}); kp == k1 {
+		t.Fatal("different k shares a key")
+	}
+}
+
+func TestWorkerPoolAdmissionAndTimeout(t *testing.T) {
+	p := newWorkerPool(1, 1) // 1 executing + 1 queued = 2 in system
+	if !p.tryAdmit() {
+		t.Fatal("first admit refused")
+	}
+	rel1, err := p.acquireWorker(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.tryAdmit() { // fills the queue slot
+		t.Fatal("queue slot refused")
+	}
+	if p.tryAdmit() { // third request: system full
+		t.Fatal("overflow admitted; want refusal (429 path)")
+	}
+
+	// The queued request times out waiting for the busy worker and gives
+	// its admission slot back.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.acquireWorker(ctx); err == nil {
+		t.Fatal("expected timeout while queued")
+	}
+	if !p.tryAdmit() {
+		t.Fatal("admission slot not released after queue timeout")
+	}
+	p.leave()
+
+	// Releasing the worker frees both slots.
+	rel1()
+	if !p.tryAdmit() {
+		t.Fatal("admission slot not released by worker release")
+	}
+	rel2, err := p.acquireWorker(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+func TestMetricsPrometheusRendering(t *testing.T) {
+	m := newMetrics()
+	m.Request()
+	m.Request()
+	m.Error(429)
+	m.Error(504)
+	m.Cache(true)
+	m.Cache(false)
+	m.Panic()
+	m.ObserveLatency(0.002)
+	m.ObserveQuery(10, 4, 100)
+
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"lanserve_requests_total 2",
+		`lanserve_errors_total{code="429"} 1`,
+		`lanserve_errors_total{code="504"} 1`,
+		"lanserve_rejected_total 1",
+		"lanserve_timeouts_total 1",
+		"lanserve_panics_total 1",
+		"lanserve_cache_hits_total 1",
+		"lanserve_cache_misses_total 1",
+		"# TYPE lanserve_request_seconds histogram",
+		"lanserve_request_seconds_count 1",
+		"lanserve_query_ndc_count 1",
+		"lanserve_query_ndc_sum 10",
+		"lanserve_query_routing_steps_count 1",
+		"lanserve_query_pruning_rate_count 1",
+		"lanserve_query_pruning_rate_sum 0.9",
+		`_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 7, 100} {
+		h.observe(v)
+	}
+	if q := h.quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %v; want 2 (bucket upper bound)", q)
+	}
+	if q := h.quantile(0.99); !isInf(q) {
+		t.Fatalf("p99 = %v; want +Inf (overflow bucket)", q)
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+func TestNewRequiresIndex(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("Config without Index accepted")
+	}
+}
+
+// fakeSearcher lets handler tests run without building a real index.
+type fakeSearcher struct {
+	results []lan.Result
+	stats   lan.Stats
+	err     error
+	delay   time.Duration
+	n       int
+}
+
+func (f *fakeSearcher) SearchContext(ctx context.Context, q *graph.Graph, so lan.SearchOptions) ([]lan.Result, lan.Stats, error) {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, f.stats, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, f.stats, err
+	}
+	return f.results, f.stats, f.err
+}
+
+func (f *fakeSearcher) Len() int { return f.n }

@@ -1,0 +1,219 @@
+// Command serve-smoke is the end-to-end smoke check behind `make
+// serve-smoke` and the CI "Serve smoke" step. It builds the lan-serve
+// binary, prepares a tiny database and trained index on disk, boots the
+// server on an ephemeral port, exercises /readyz, /search (twice, so the
+// second hit must come from the result cache) and /metrics, then delivers
+// SIGTERM and insists the server drains and exits within 5 seconds.
+//
+// It exits 0 on success and 1 with a diagnostic on any failure, so it
+// works as a CI gate without extra tooling.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/dataset"
+	"github.com/lansearch/lan/lanio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve-smoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serve-smoke: PASS")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "serve-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// A tiny database and index on disk, exactly as lan-gen + lan-train
+	// would produce them.
+	spec := dataset.AIDS(0.002)
+	db := spec.Generate()
+	dbPath := filepath.Join(dir, "db.txt")
+	f, err := os.Create(dbPath)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteText(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	queries := dataset.Workload(db, spec, 10, 1)
+	idx, err := lanio.BuildIndex(db, queries, lanio.BuildParams{Dim: 6, M: 4, Epochs: 1, GammaKNN: 5, Seed: 1})
+	if err != nil {
+		return fmt.Errorf("building index: %w", err)
+	}
+	idxPath := filepath.Join(dir, "idx.lan")
+	if err := lanio.SaveIndex(idxPath, idx); err != nil {
+		return err
+	}
+
+	bin := filepath.Join(dir, "lan-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/lan-serve").CombinedOutput(); err != nil {
+		return fmt.Errorf("go build ./cmd/lan-serve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-db", dbPath, "-index", idxPath, "-addr", "127.0.0.1:0", "-shutdown-grace", "5s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer cmd.Process.Kill() // no-op if the SIGTERM path already reaped it
+
+	// The server logs "listening on 127.0.0.1:<port>" once bound; everything
+	// after that is streamed through for the CI log.
+	addrRe := regexp.MustCompile(`listening on (\S+:\d+)`)
+	addrCh := make(chan string, 1)
+	logDone := make(chan struct{})
+	go func() {
+		defer close(logDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(os.Stderr, "  [lan-serve] %s\n", line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server never reported its listen address")
+	}
+
+	if err := checks(base, queries[0]); err != nil {
+		return err
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit cleanly within 5s.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("server exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		cmd.Process.Kill()
+		return fmt.Errorf("server did not exit within 5s of SIGTERM")
+	}
+	<-logDone
+	return nil
+}
+
+// checks drives the live server through the readiness, search, cache and
+// metrics assertions.
+func checks(base string, q *graph.Graph) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Readiness.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/readyz never turned 200: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Two identical searches: both succeed, the second is a cache hit.
+	q.ID = -1
+	body, err := json.Marshal(map[string]interface{}{"query": q, "k": 3})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := client.Post(base+"/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("/search #%d: status %d: %s", i+1, resp.StatusCode, data)
+		}
+		var sr struct {
+			Results []struct {
+				ID   int     `json:"id"`
+				Dist float64 `json:"dist"`
+			} `json:"results"`
+			Cached bool `json:"cached"`
+		}
+		if err := json.Unmarshal(data, &sr); err != nil {
+			return fmt.Errorf("/search #%d: bad JSON: %v", i+1, err)
+		}
+		if len(sr.Results) != 3 {
+			return fmt.Errorf("/search #%d: %d results; want 3", i+1, len(sr.Results))
+		}
+		if sr.Cached != (i == 1) {
+			return fmt.Errorf("/search #%d: cached = %v", i+1, sr.Cached)
+		}
+	}
+
+	// Metrics reflect the traffic above.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"lanserve_requests_total 2",
+		"lanserve_cache_hits_total 1",
+		"lanserve_query_ndc_count 1",       // the cache hit ran no search
+		"lanserve_request_seconds_count 2", // but both requests count latency
+	} {
+		if !strings.Contains(string(data), want) {
+			return fmt.Errorf("/metrics missing %q:\n%s", want, data)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package lan
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -89,39 +90,66 @@ func (s *ShardedIndex) Shards() int { return len(s.shards) }
 // The returned stats aggregate all shards (NDC sums; times are the
 // slowest shard's, matching wall-clock behavior).
 func (s *ShardedIndex) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
+	return s.SearchContext(context.Background(), q, so)
+}
+
+// SearchContext is Search with cancellation. The context is threaded into
+// every per-shard search; the first shard to fail cancels the remaining
+// fan-out, and its error — annotated with the failing shard's id — is
+// returned after all shard goroutines have drained (no goroutine outlives
+// the call). When the caller's own context expires, every shard reports
+// the cancellation and the returned error wraps ctx.Err().
+func (s *ShardedIndex) SearchContext(ctx context.Context, q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
 	if q == nil || so.K <= 0 {
 		return nil, Stats{}, fmt.Errorf("lan: need a query graph and K > 0")
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type shardOut struct {
 		res   []Result
 		stats Stats
-		err   error
 	}
 	outs := make([]shardOut, len(s.shards))
 	par := s.parallel
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
+	var (
+		sem      = make(chan struct{}, par)
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
 	for i := range s.shards {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, stats, err := s.shards[i].Search(q, so)
-			outs[i] = shardOut{res, stats, err}
+			res, stats, err := s.shards[i].SearchContext(ctx, q, so)
+			if err != nil {
+				// Record the first failure with its shard id and abort the
+				// remaining fan-out; later cancellation errors from sibling
+				// shards are consequences, not causes, and are dropped.
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("lan: shard %d/%d: %w", i, len(s.shards), err)
+					cancel()
+				}
+				errMu.Unlock()
+				return
+			}
+			outs[i] = shardOut{res, stats}
 		}(i)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, Stats{}, firstErr
+	}
 
 	var merged []Result
 	var agg Stats
 	for i, o := range outs {
-		if o.err != nil {
-			return nil, Stats{}, fmt.Errorf("lan: shard %d: %w", i, o.err)
-		}
 		for _, r := range o.res {
 			merged = append(merged, Result{ID: r.ID + s.offsets[i], Dist: r.Dist})
 		}
