@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments examples serve-smoke clean
+.PHONY: all build vet lint test race bench bench-smoke experiments examples serve-smoke clean
 
 all: build vet lint test
 
@@ -29,9 +29,19 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# One benchmark per paper table/figure plus ablations; see DESIGN.md.
+# Micro-benchmarks (mat kernels, parallel vs sequential PG build, root
+# package ablations) plus the end-to-end lan-bench run, which writes a
+# BENCH_<timestamp>.json summary with build speedups and query latency
+# percentiles; see DESIGN.md "Performance architecture".
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/mat ./internal/pg .
+	$(GO) run ./cmd/lan-bench -exp tab1
+
+# Benchmark smoke for CI: every benchmark runs exactly once so a
+# regression that panics or deadlocks is caught without paying for
+# statistically meaningful timings.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/mat ./internal/pg
 
 # Regenerate the paper's evaluation on the dataset simulators.
 experiments:

@@ -57,7 +57,10 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	idx, err := lanio.LoadIndex(*idxPath, db, lan.Options{})
+	// Workers also bounds the snapshot-load fan-out: snapshots without
+	// precomputed node embeddings recompute them across this many
+	// goroutines.
+	idx, err := lanio.LoadIndex(*idxPath, db, lan.Options{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,6 +28,7 @@ func main() {
 		m       = flag.Int("m", 8, "proximity graph degree parameter")
 		epochs  = flag.Int("epochs", 10, "training epochs")
 		gamma   = flag.Int("gamma-knn", 20, "gamma* covers this many NNs for 90% of training queries")
+		workers = flag.Int("workers", 0, "index-build worker goroutines (0 = NumCPU; results are identical for every setting)")
 		seed    = flag.Int64("seed", 1, "build seed")
 	)
 	flag.Parse()
@@ -51,7 +52,7 @@ func main() {
 
 	start := time.Now()
 	idx, err := lanio.BuildIndex(db, queries, lanio.BuildParams{
-		Dim: *dim, M: *m, Epochs: *epochs, GammaKNN: *gamma, Seed: *seed,
+		Dim: *dim, M: *m, Epochs: *epochs, GammaKNN: *gamma, Workers: *workers, Seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)

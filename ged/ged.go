@@ -152,26 +152,49 @@ func (e Ensemble) Distance(g, h *graph.Graph) float64 {
 	return d
 }
 
+// counterShards is the number of lock stripes in Counter's memo. The
+// parallel index build hits the memo from every worker; with a single
+// mutex the workers serialize on cache lookups even though the GED
+// computations themselves run concurrently.
+const counterShards = 64
+
+type counterShard struct {
+	mu    sync.Mutex
+	cache map[[2]int]float64
+}
+
 // Counter wraps a Metric and counts calls; the routing layer uses it to
 // report NDC. It optionally memoizes by (g.ID, h.ID) pairs when both ids
 // are non-negative; cache hits do not increment the counter because a
-// cached distance costs no GED computation.
+// cached distance costs no GED computation. The memo is sharded across
+// lock stripes, so Distance is safe for concurrent use.
 type Counter struct {
 	Metric Metric
 
 	calls atomic.Int64
 
-	mu    sync.Mutex
-	cache map[[2]int]float64
+	shards [counterShards]counterShard
 }
 
 // NewCounter returns a counting, memoizing wrapper around m.
 func NewCounter(m Metric) *Counter {
-	return &Counter{Metric: m, cache: make(map[[2]int]float64)}
+	c := &Counter{Metric: m}
+	for i := range c.shards {
+		c.shards[i].cache = make(map[[2]int]float64)
+	}
+	return c
+}
+
+// shard picks the lock stripe for a sorted id pair, mixing both ids so
+// consecutive pairs spread across stripes.
+func (c *Counter) shard(key [2]int) *counterShard {
+	h := uint64(key[0])*0x9e3779b97f4a7c15 ^ uint64(key[1])*0xbf58476d1ce4e5b9
+	return &c.shards[(h>>32)&(counterShards-1)]
 }
 
 // Distance implements Metric, counting and caching the computation.
 func (c *Counter) Distance(g, h *graph.Graph) float64 {
+	var sh *counterShard
 	var key [2]int
 	cacheable := g.ID >= 0 && h.ID >= 0
 	if cacheable {
@@ -179,19 +202,20 @@ func (c *Counter) Distance(g, h *graph.Graph) float64 {
 		if g.ID > h.ID {
 			key = [2]int{h.ID, g.ID}
 		}
-		c.mu.Lock()
-		if d, ok := c.cache[key]; ok {
-			c.mu.Unlock()
+		sh = c.shard(key)
+		sh.mu.Lock()
+		if d, ok := sh.cache[key]; ok {
+			sh.mu.Unlock()
 			return d
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	d := c.Metric.Distance(g, h)
 	c.calls.Add(1)
 	if cacheable {
-		c.mu.Lock()
-		c.cache[key] = d
-		c.mu.Unlock()
+		sh.mu.Lock()
+		sh.cache[key] = d
+		sh.mu.Unlock()
 	}
 	return d
 }
@@ -203,7 +227,9 @@ func (c *Counter) Calls() int64 { return c.calls.Load() }
 // Reset zeroes the call counter and clears the memo cache.
 func (c *Counter) Reset() {
 	c.calls.Store(0)
-	c.mu.Lock()
-	c.cache = make(map[[2]int]float64)
-	c.mu.Unlock()
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		c.shards[i].cache = make(map[[2]int]float64)
+		c.shards[i].mu.Unlock()
+	}
 }

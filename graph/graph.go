@@ -258,6 +258,25 @@ func NewDatabase(graphs []*Graph) Database {
 	return Database(graphs)
 }
 
+// Validate checks that the database is usable for indexing: non-empty,
+// no nil entries, and every graph's ID equal to its position (the
+// invariant NewDatabase establishes). Index builders and snapshot
+// loaders call this instead of re-implementing the pre-pass.
+func (db Database) Validate() error {
+	if len(db) == 0 {
+		return fmt.Errorf("graph: empty database")
+	}
+	for i, g := range db {
+		if g == nil {
+			return fmt.Errorf("graph: database entry %d is nil", i)
+		}
+		if g.ID != i {
+			return fmt.Errorf("graph: graph %d has ID %d; use graph.NewDatabase", i, g.ID)
+		}
+	}
+	return nil
+}
+
 // Stats summarizes a database in the shape of the paper's Table I.
 type Stats struct {
 	Graphs    int     // #graphs

@@ -152,7 +152,7 @@ func (c *matDimChecker) matFunc(e ast.Expr) string {
 // checkCall reports provable dimension inconsistencies of one call.
 func (c *matDimChecker) checkCall(call *ast.CallExpr) {
 	switch c.matFunc(call.Fun) {
-	case "New", "Randn":
+	case "New", "Randn", "GetScratch":
 		if len(call.Args) < 2 {
 			return
 		}
@@ -184,6 +184,18 @@ func (c *matDimChecker) checkCall(call *ast.CallExpr) {
 		c.checkPair(call, "mat.MulT", func(a, b matShape) (matDimVal, matDimVal) { return a.cols, b.cols })
 	case "TMul":
 		c.checkPair(call, "mat.TMul", func(a, b matShape) (matDimVal, matDimVal) { return a.rows, b.rows })
+	case "MulInto":
+		c.checkInto(call, "mat.MulInto",
+			func(a, b matShape) (matDimVal, matDimVal) { return a.cols, b.rows },
+			func(a, b matShape) matShape { return matShape{rows: a.rows, cols: b.cols} })
+	case "MulTInto":
+		c.checkInto(call, "mat.MulTInto",
+			func(a, b matShape) (matDimVal, matDimVal) { return a.cols, b.cols },
+			func(a, b matShape) matShape { return matShape{rows: a.rows, cols: b.rows} })
+	case "TMulInto":
+		c.checkInto(call, "mat.TMulInto",
+			func(a, b matShape) (matDimVal, matDimVal) { return a.rows, b.rows },
+			func(a, b matShape) matShape { return matShape{rows: a.cols, cols: b.cols} })
 	case "Add", "Sub", "Hadamard":
 		if len(call.Args) != 2 {
 			return
@@ -213,6 +225,33 @@ func (c *matDimChecker) checkPair(call *ast.CallExpr, name string, pick func(a, 
 	da, db := pick(a, b)
 	if dimsConflict(da, db) {
 		c.pass.Reportf(call.Pos(), "%s: inner dimensions %d and %d of %s and %s do not conform", name, da.v, db.v, shapeStr(a), shapeStr(b))
+	}
+}
+
+// checkInto reports the two provable mistakes of a destination-reusing
+// kernel: non-conforming operands (same rule as the allocating variant)
+// and a destination whose shape cannot hold the product.
+func (c *matDimChecker) checkInto(call *ast.CallExpr, name string, pick func(a, b matShape) (matDimVal, matDimVal), prod func(a, b matShape) matShape) {
+	if len(call.Args) != 3 {
+		return
+	}
+	a, aok := c.exprShape(call.Args[1])
+	b, bok := c.exprShape(call.Args[2])
+	if !aok || !bok {
+		return
+	}
+	da, db := pick(a, b)
+	if dimsConflict(da, db) {
+		c.pass.Reportf(call.Pos(), "%s: inner dimensions %d and %d of %s and %s do not conform", name, da.v, db.v, shapeStr(a), shapeStr(b))
+		return
+	}
+	dst, dok := c.exprShape(call.Args[0])
+	if !dok {
+		return
+	}
+	p := prod(a, b)
+	if dimsConflict(dst.rows, p.rows) || dimsConflict(dst.cols, p.cols) {
+		c.pass.Reportf(call.Pos(), "%s: destination %s for a %s product", name, shapeStr(dst), shapeStr(p))
 	}
 }
 
@@ -253,7 +292,7 @@ func (c *matDimChecker) callShape(call *ast.CallExpr) (matShape, bool) {
 		return c.exprShape(call.Args[i])
 	}
 	switch name {
-	case "New", "Randn", "FromSlice":
+	case "New", "Randn", "FromSlice", "GetScratch":
 		if len(call.Args) < 2 {
 			return matShape{}, false
 		}
@@ -278,6 +317,24 @@ func (c *matDimChecker) callShape(call *ast.CallExpr) (matShape, bool) {
 	case "TMul":
 		a, aok := argShape(0)
 		b, bok := argShape(1)
+		if aok && bok {
+			return matShape{rows: a.cols, cols: b.cols}, true
+		}
+	case "MulInto":
+		a, aok := argShape(1)
+		b, bok := argShape(2)
+		if aok && bok {
+			return matShape{rows: a.rows, cols: b.cols}, true
+		}
+	case "MulTInto":
+		a, aok := argShape(1)
+		b, bok := argShape(2)
+		if aok && bok {
+			return matShape{rows: a.rows, cols: b.rows}, true
+		}
+	case "TMulInto":
+		a, aok := argShape(1)
+		b, bok := argShape(2)
 		if aok && bok {
 			return matShape{rows: a.cols, cols: b.cols}, true
 		}

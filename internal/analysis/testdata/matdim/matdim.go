@@ -75,6 +75,47 @@ func cloneAndScalePropagate() *mat.Matrix {
 	return mat.Sub(b, mat.New(4, 4)) // want "elementwise mat op on 2x3 and 4x4"
 }
 
+func badMulInto() *mat.Matrix {
+	dst := mat.New(2, 5)
+	a := mat.New(2, 3)
+	return mat.MulInto(dst, a, mat.New(4, 5)) // want "inner dimensions 3 and 4"
+}
+
+func badMulIntoDst() *mat.Matrix {
+	dst := mat.New(2, 4)
+	a := mat.New(2, 3)
+	return mat.MulInto(dst, a, mat.New(3, 5)) // want "destination 2x4 for a 2x5 product"
+}
+
+func okMulIntoScratch() *mat.Matrix {
+	dst := mat.GetScratch(2, 5)
+	a := mat.New(2, 3)
+	return mat.MulInto(dst, a, mat.New(3, 5))
+}
+
+func badMulTInto() *mat.Matrix {
+	dst := mat.New(2, 5)
+	a := mat.New(2, 3)
+	return mat.MulTInto(dst, a, mat.New(5, 4)) // want "inner dimensions 3 and 4"
+}
+
+func badTMulIntoDst() *mat.Matrix {
+	dst := mat.New(3, 3)
+	a := mat.New(2, 3)
+	return mat.TMulInto(dst, a, mat.New(2, 4)) // want "destination 3x3 for a 3x4 product"
+}
+
+func negativeScratch() *mat.Matrix {
+	return mat.GetScratch(-1, 2) // want "negative dimension"
+}
+
+func unknownIntoNotFlagged(dst *mat.Matrix) *mat.Matrix {
+	a := mat.New(2, 3)
+	// dst's shape is unknown, so only operand conformance is checkable —
+	// and 3 == 3 conforms.
+	return mat.MulInto(dst, a, mat.New(3, 5))
+}
+
 func suppressed() *mat.Matrix {
 	a := mat.New(2, 3)
 	b := mat.New(4, 5)

@@ -104,10 +104,14 @@ func MatMul(a, b *Value) *Value {
 	out := newNode(mat.Mul(a.Data, b.Data), a, b)
 	out.backward = func() {
 		if a.requiresGrad {
-			a.grad().AddInPlace(mat.MulT(out.Grad, b.Data)) // dA = dOut * Bᵀ
+			tmp := mat.GetScratch(out.Grad.Rows, b.Data.Rows)
+			a.grad().AddInPlace(mat.MulTInto(tmp, out.Grad, b.Data)) // dA = dOut * Bᵀ
+			mat.PutScratch(tmp)
 		}
 		if b.requiresGrad {
-			b.grad().AddInPlace(mat.TMul(a.Data, out.Grad)) // dB = Aᵀ * dOut
+			tmp := mat.GetScratch(a.Data.Cols, out.Grad.Cols)
+			b.grad().AddInPlace(mat.TMulInto(tmp, a.Data, out.Grad)) // dB = Aᵀ * dOut
+			mat.PutScratch(tmp)
 		}
 	}
 	return out

@@ -15,6 +15,7 @@ import (
 
 	"github.com/lansearch/lan/ged"
 	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/cg"
 	"github.com/lansearch/lan/internal/cluster"
 	"github.com/lansearch/lan/internal/models"
 	"github.com/lansearch/lan/internal/pg"
@@ -58,6 +59,11 @@ type Options struct {
 
 	// Routing.
 	StepSize float64 // d_s (default 1)
+
+	// Workers bounds the index-build worker pool and the node-embedding
+	// precompute fan-out (default runtime.NumCPU() inside pg/cg). The
+	// built index and embeddings are identical across worker counts.
+	Workers int
 
 	Seed int64
 }
@@ -198,8 +204,8 @@ func (t *timedMetric) Distance(a, b *graph.Graph) float64 {
 // the heavy lifting (index construction, the distance table) is exactly
 // the offline cost the paper describes.
 func Build(db graph.Database, trainQueries []*graph.Graph, opts Options) (*Engine, error) {
-	if len(db) == 0 {
-		return nil, fmt.Errorf("core: empty database")
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if len(trainQueries) == 0 {
 		return nil, fmt.Errorf("core: no training queries")
@@ -208,7 +214,7 @@ func Build(db graph.Database, trainQueries []*graph.Graph, opts Options) (*Engin
 
 	idx, err := pg.Build(db, pg.BuildConfig{
 		M: opts.M, EfConstruction: opts.EfConstruction,
-		Metric: opts.BuildMetric, Seed: opts.Seed,
+		Metric: opts.BuildMetric, Seed: opts.Seed, Workers: opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -240,6 +246,9 @@ func Build(db graph.Database, trainQueries []*graph.Graph, opts Options) (*Engin
 			return nil, err
 		}
 	}
+	// Embed the whole database once (batched) so routing never pays the
+	// current-node encoding at query time.
+	e.Mrk.PrecomputeNodeEmbeddings(db, opts.Workers)
 
 	// M_nh with negative downsampling, shuffled and capped like M_rk.
 	e.Mnh = models.NewNeighborhoodModel(mcfg, store)
@@ -299,6 +308,16 @@ func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOpt
 		return nil, stats, err
 	}
 
+	// The query's compressed GNN-graph is shared by every learned
+	// component this search touches; building it here means the selector
+	// and each ranking call reuse one encoding instead of rebuilding it.
+	var qcg *cg.Compressed
+	if so.Initial == LANIS || so.Initial == LANISBasic || so.Routing == LANRoute {
+		cgStart := time.Now()
+		qcg = e.Store.Query(q)
+		stats.ModelTime += time.Since(cgStart)
+	}
+
 	// Initial node.
 	modelStart := time.Now()
 	var distInModels time.Duration
@@ -310,6 +329,7 @@ func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOpt
 			TopClusters: e.Opts.TopClusters, Samples: e.Opts.Samples,
 			Seed: e.Opts.Seed, Predictions: &stats.ISPredictions,
 			Exhaustive: so.Initial == LANISBasic,
+			QueryCG:    qcg,
 		}
 		before := tm.elapsed
 		entry = sel.Select(e.DB, q, cache)
@@ -349,7 +369,7 @@ func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOpt
 		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, oracle, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
 		stats.NDC, stats.Explored, stats.RankerCalls = s.NDC, s.Explored, s.RankerCalls
 	default: // LANRoute
-		inner := e.Mrk.Ranker(e.DB, q, &stats.RankerCalls)
+		inner := e.Mrk.Ranker(e.DB, q, qcg, &stats.RankerCalls)
 		ranker := route.RankerFunc(func(node int, neighbors []int, d float64) [][]int {
 			rs := time.Now()
 			b := inner.Batches(node, neighbors, d)

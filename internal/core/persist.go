@@ -45,6 +45,11 @@ type snapshot struct {
 	MrkParams json.RawMessage `json:"mrk_params"`
 	MnhParams json.RawMessage `json:"mnh_params"`
 	McParams  json.RawMessage `json:"mc_params"`
+
+	// MrkNodeEmb holds M_rk's precomputed database embeddings. Optional:
+	// snapshots written before this field (or with it stripped) load fine
+	// — the embeddings are recomputed from the parameters at Load.
+	MrkNodeEmb [][]float64 `json:"mrk_node_emb,omitempty"`
 }
 
 // Save serializes everything needed to answer queries later: the
@@ -63,10 +68,11 @@ func (e *Engine) Save(w io.Writer) error {
 		BatchPercent: e.Opts.BatchPercent, Hidden: e.Opts.Hidden,
 		UseCG:       e.Opts.UseCG,
 		TopClusters: e.Opts.TopClusters, Samples: e.Opts.Samples,
-		StepSize:  e.Opts.StepSize,
-		Seed:      e.Opts.Seed,
-		Centroids: e.Mc.Clusters().Centroids,
-		Assign:    e.Mc.Clusters().Assign,
+		StepSize:   e.Opts.StepSize,
+		Seed:       e.Opts.Seed,
+		Centroids:  e.Mc.Clusters().Centroids,
+		Assign:     e.Mc.Clusters().Assign,
+		MrkNodeEmb: e.Mrk.NodeEmbeddings(),
 	}
 	var err error
 	if s.MrkParams, err = marshalParams(e.Mrk.Params); err != nil {
@@ -97,6 +103,9 @@ type paramsSaver interface {
 // Load reconstructs a saved engine over db. opts supplies the metrics
 // (and may override UseCG); all shape options come from the snapshot.
 func Load(db graph.Database, r io.Reader, opts Options) (*Engine, error) {
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
 	var s snapshot
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
@@ -136,6 +145,13 @@ func Load(db graph.Database, r io.Reader, opts Options) (*Engine, error) {
 	e.Mrk = models.NewNeighborRanker(mcfg, store)
 	if err := e.Mrk.Params.Load(bytesReader(s.MrkParams)); err != nil {
 		return nil, err
+	}
+	if s.MrkNodeEmb != nil {
+		if err := e.Mrk.SetNodeEmbeddings(s.MrkNodeEmb, len(db)); err != nil {
+			return nil, err
+		}
+	} else {
+		e.Mrk.PrecomputeNodeEmbeddings(db, opts.Workers)
 	}
 	e.Mnh = models.NewNeighborhoodModel(mcfg, store)
 	if err := e.Mnh.Params.Load(bytesReader(s.MnhParams)); err != nil {

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"sort"
 	"time"
 
 	"github.com/lansearch/lan/internal/core"
 	"github.com/lansearch/lan/internal/dataset"
+	"github.com/lansearch/lan/internal/pg"
 )
 
 // BenchPoint is one (dataset, beam) row of the machine-readable benchmark
@@ -29,24 +32,45 @@ type BenchPoint struct {
 	QPS          float64 `json:"qps"`
 }
 
+// BuildPoint is one dataset's index-build speedup measurement: the same
+// proximity graph constructed sequentially and with the worker pool, with
+// a bit-identity check between the two results.
+type BuildPoint struct {
+	Dataset           string  `json:"dataset"`
+	Graphs            int     `json:"graphs"`
+	Workers           int     `json:"workers"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+	// Identical reports whether the parallel build produced exactly the
+	// sequential index (adjacency, upper layers, levels and entry point).
+	Identical bool `json:"identical"`
+}
+
 // BenchReport is the full JSON document: the protocol knobs that shaped
-// the run plus one point per (dataset, beam). GeneratedAt is stamped by
-// the caller (lan-bench) at write time.
+// the run plus one point per (dataset, beam) and one build-speedup point
+// per dataset. GeneratedAt is stamped by the caller (lan-bench) at write
+// time.
 type BenchReport struct {
 	GeneratedAt string       `json:"generated_at,omitempty"`
 	Scale       float64      `json:"scale"`
 	K           int          `json:"k"`
 	Dim         int          `json:"dim"`
 	Epochs      int          `json:"epochs"`
+	Workers     int          `json:"workers"`
 	Seed        int64        `json:"seed"`
 	Points      []BenchPoint `json:"points"`
+	Builds      []BuildPoint `json:"builds"`
 }
 
 // Bench measures the default LAN configuration (LAN_IS + LAN_Route) per
 // dataset and beam size, reusing any environments cache already built for
 // the figures.
 func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
-	rep := &BenchReport{Scale: p.Scale, K: p.K, Dim: p.Dim, Epochs: p.TrainEpochs, Seed: p.Seed}
+	rep := &BenchReport{
+		Scale: p.Scale, K: p.K, Dim: p.Dim, Epochs: p.TrainEpochs,
+		Workers: p.workers(), Seed: p.Seed,
+	}
 	for _, spec := range p.Specs() {
 		env, err := cache.Get(p, spec)
 		if err != nil {
@@ -55,12 +79,66 @@ func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
 		for _, beam := range p.Beams {
 			rep.Points = append(rep.Points, benchPoint(env, beam))
 		}
+		rep.Builds = append(rep.Builds, buildPoint(env))
 	}
 	return rep, nil
 }
 
+// workers resolves the protocol's effective parallel worker count.
+func (p Protocol) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// buildPoint constructs the dataset's proximity graph twice — once
+// sequentially, once with the worker pool — and reports the speedup plus
+// a bit-identity comparison of the two indexes.
+func buildPoint(env *Env) BuildPoint {
+	p := env.Protocol
+	cfg := pg.BuildConfig{M: 6, Metric: p.buildMetric(), Seed: p.Seed}
+	// Floor the parallel leg at two workers: on a single-core machine
+	// the protocol default resolves to 1, which would compare the
+	// sequential build against itself and verify nothing about the pool.
+	workers := maxInt(p.workers(), 2)
+
+	cfg.Workers = 1
+	seqStart := time.Now()
+	seq, seqErr := pg.Build(env.DB, cfg)
+	seqSec := time.Since(seqStart).Seconds()
+
+	cfg.Workers = workers
+	parStart := time.Now()
+	par, parErr := pg.Build(env.DB, cfg)
+	parSec := time.Since(parStart).Seconds()
+
+	bp := BuildPoint{
+		Dataset: env.Spec.Name, Graphs: len(env.DB), Workers: workers,
+		SequentialSeconds: seqSec, ParallelSeconds: parSec,
+	}
+	if parSec > 0 {
+		bp.Speedup = seqSec / parSec
+	}
+	bp.Identical = seqErr == nil && parErr == nil &&
+		reflect.DeepEqual(seq.PG.Adj, par.PG.Adj) &&
+		reflect.DeepEqual(seq.Upper, par.Upper) &&
+		reflect.DeepEqual(seq.Level, par.Level) &&
+		seq.Entry == par.Entry
+	return bp
+}
+
 func benchPoint(env *Env, beam int) BenchPoint {
 	p := env.Protocol
+	// Warm up before the timed loop: the first search pays one-time setup
+	// (scratch-pool population, lazily built compressed GNN-graphs for the
+	// query side) that would otherwise land in the first latency sample
+	// and skew the percentiles of small workloads.
+	if len(env.Test) > 0 {
+		env.Engine.Search(env.Test[0], core.SearchOptions{
+			K: p.K, Beam: beam, Initial: core.LANIS, Routing: core.LANRoute,
+		})
+	}
 	latencies := make([]float64, len(env.Test)) // microseconds
 	ndcs := make([]float64, len(env.Test))
 	var recall, total float64

@@ -47,6 +47,10 @@ type Protocol struct {
 	// Dim is the embedding dimension (the paper uses 128; scaled down
 	// with the datasets).
 	Dim int
+	// Workers bounds index-build concurrency (0 means runtime.NumCPU).
+	// The built index is bit-identical for every setting, so benchmark
+	// numbers stay comparable across worker counts.
+	Workers int
 	// Seed drives everything.
 	Seed int64
 	// Datasets, when non-empty, restricts Specs() to the named datasets
@@ -122,6 +126,7 @@ func NewEnv(p Protocol, spec dataset.Spec) (*Env, error) {
 		BuildMetric: p.buildMetric(),
 		QueryMetric: p.QueryMetric,
 		Train:       models.TrainOptions{Epochs: p.TrainEpochs, LR: 0.01},
+		Workers:     p.Workers,
 		Seed:        p.Seed,
 	})
 	if err != nil {

@@ -159,6 +159,19 @@ func TestBenchReportShape(t *testing.T) {
 			t.Fatalf("latency percentiles out of order: %+v", pt)
 		}
 	}
+	if len(rep.Builds) != 1 {
+		t.Fatalf("%d build points; want 1", len(rep.Builds))
+	}
+	bp := rep.Builds[0]
+	if !strings.HasPrefix(bp.Dataset, "AIDS") || bp.Graphs <= 0 || bp.Workers <= 0 {
+		t.Fatalf("bad build point identity: %+v", bp)
+	}
+	if bp.SequentialSeconds <= 0 || bp.ParallelSeconds <= 0 {
+		t.Fatalf("degenerate build point: %+v", bp)
+	}
+	if !bp.Identical {
+		t.Fatalf("parallel build diverged from sequential: %+v", bp)
+	}
 }
 
 func TestNamesListed(t *testing.T) {

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Matrix is a dense row-major float64 matrix.
@@ -78,26 +80,106 @@ func (m *Matrix) shapeCheck(o *Matrix, op string) {
 	}
 }
 
+// Product-kernel tuning. The tiles keep a destination-row segment and
+// the matching segment of the streamed operand rows L1-resident; every
+// tiling loop walks the inner (k) dimension in ascending order for each
+// output element, so tiled results are bit-identical to the naive triple
+// loop. parallelMinWork is the multiply-add count below which goroutine
+// fan-out costs more than it saves.
+const (
+	tileJ           = 128
+	tileK           = 256
+	parallelMinWork = 1 << 19
+)
+
+// parallelRows splits the destination rows [0, rows) across GOMAXPROCS
+// goroutines when the kernel has enough work to amortize the fan-out.
+// Each range writes a disjoint set of rows and the per-element
+// accumulation order is untouched, so the parallel product is
+// bit-identical to the sequential one.
+func parallelRows(rows, work int, body func(i0, i1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelMinWork || workers < 2 || rows < 2 {
+		body(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < rows; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > rows {
+			i1 = rows
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			body(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
 // Mul returns the matrix product m * o.
 func Mul(m, o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
 		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
-	out := New(m.Rows, o.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Row(i)
-		orow := out.Row(i)
-		for k, a := range mrow {
-			if a == 0 {
-				continue
+	return MulInto(New(m.Rows, o.Cols), m, o)
+}
+
+// MulInto computes m * o into dst (which must be m.Rows x o.Cols and
+// must not alias m or o) and returns dst. Reusing a destination — e.g.
+// one drawn from GetScratch — avoids the per-call allocation of Mul on
+// hot paths.
+func MulInto(dst, m, o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != o.Cols {
+		panic(fmt.Sprintf("mat: mul into %dx%d destination for %dx%d product", dst.Rows, dst.Cols, m.Rows, o.Cols))
+	}
+	parallelRows(m.Rows, m.Rows*m.Cols*o.Cols, func(i0, i1 int) {
+		mulRange(dst, m, o, i0, i1)
+	})
+	return dst
+}
+
+// mulRange computes rows [i0, i1) of dst = m * o, tiled over the inner
+// dimension and the destination columns. Dense inputs take no
+// per-element branch (zero-skip lives only in the sparse-aware TMul).
+func mulRange(dst, m, o *Matrix, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		row := dst.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for k0 := 0; k0 < m.Cols; k0 += tileK {
+		k1 := k0 + tileK
+		if k1 > m.Cols {
+			k1 = m.Cols
+		}
+		for j0 := 0; j0 < o.Cols; j0 += tileJ {
+			j1 := j0 + tileJ
+			if j1 > o.Cols {
+				j1 = o.Cols
 			}
-			okrow := o.Row(k)
-			for j, b := range okrow {
-				orow[j] += a * b
+			for i := i0; i < i1; i++ {
+				mrow := m.Row(i)
+				drow := dst.Row(i)[j0:j1]
+				for k := k0; k < k1; k++ {
+					a := mrow[k]
+					brow := o.Row(k)[j0:j1]
+					for j, b := range brow {
+						drow[j] += a * b
+					}
+				}
 			}
 		}
 	}
-	return out
 }
 
 // MulT returns m * oᵀ.
@@ -105,19 +187,45 @@ func MulT(m, o *Matrix) *Matrix {
 	if m.Cols != o.Cols {
 		panic(fmt.Sprintf("mat: mulT shape mismatch %dx%d * (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
-	out := New(m.Rows, o.Rows)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Row(i)
-		for j := 0; j < o.Rows; j++ {
-			orow := o.Row(j)
-			s := 0.0
-			for k, a := range mrow {
-				s += a * orow[k]
+	return MulTInto(New(m.Rows, o.Rows), m, o)
+}
+
+// MulTInto computes m * oᵀ into dst (which must be m.Rows x o.Rows and
+// must not alias m or o) and returns dst.
+func MulTInto(dst, m, o *Matrix) *Matrix {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("mat: mulT shape mismatch %dx%d * (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != o.Rows {
+		panic(fmt.Sprintf("mat: mulT into %dx%d destination for %dx%d product", dst.Rows, dst.Cols, m.Rows, o.Rows))
+	}
+	parallelRows(m.Rows, m.Rows*m.Cols*o.Rows, func(i0, i1 int) {
+		mulTRange(dst, m, o, i0, i1)
+	})
+	return dst
+}
+
+// mulTRange computes rows [i0, i1) of dst = m * oᵀ as dot products,
+// tiled over o's rows so a tile of them stays cached across the range.
+func mulTRange(dst, m, o *Matrix, i0, i1 int) {
+	for j0 := 0; j0 < o.Rows; j0 += tileJ {
+		j1 := j0 + tileJ
+		if j1 > o.Rows {
+			j1 = o.Rows
+		}
+		for i := i0; i < i1; i++ {
+			mrow := m.Row(i)
+			drow := dst.Row(i)
+			for j := j0; j < j1; j++ {
+				orow := o.Row(j)
+				s := 0.0
+				for k, a := range mrow {
+					s += a * orow[k]
+				}
+				drow[j] = s
 			}
-			out.Set(i, j, s)
 		}
 	}
-	return out
 }
 
 // TMul returns mᵀ * o.
@@ -125,21 +233,83 @@ func TMul(m, o *Matrix) *Matrix {
 	if m.Rows != o.Rows {
 		panic(fmt.Sprintf("mat: tmul shape mismatch (%dx%d)ᵀ * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
-	out := New(m.Cols, o.Cols)
+	return TMulInto(New(m.Cols, o.Cols), m, o)
+}
+
+// TMulInto computes mᵀ * o into dst (which must be m.Cols x o.Cols and
+// must not alias m or o) and returns dst. It keeps the zero-skip: its
+// left operand is routinely sparse (one-hot GNN inputs, ReLU-masked
+// activations and their gradients), where skipping zero rows saves far
+// more than the branch costs.
+func TMulInto(dst, m, o *Matrix) *Matrix {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("mat: tmul shape mismatch (%dx%d)ᵀ * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	if dst.Rows != m.Cols || dst.Cols != o.Cols {
+		panic(fmt.Sprintf("mat: tmul into %dx%d destination for %dx%d product", dst.Rows, dst.Cols, m.Cols, o.Cols))
+	}
+	parallelRows(m.Cols, m.Rows*m.Cols*o.Cols, func(i0, i1 int) {
+		tMulRange(dst, m, o, i0, i1)
+	})
+	return dst
+}
+
+// tMulRange computes rows [i0, i1) of dst = mᵀ * o (i indexes m's
+// columns). k stays the outer ascending loop, so per-element accumulation
+// order matches the naive kernel exactly.
+func tMulRange(dst, m, o *Matrix, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		row := dst.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
 	for k := 0; k < m.Rows; k++ {
-		mrow := m.Row(k)
+		mrow := m.Row(k)[i0:i1]
 		okrow := o.Row(k)
-		for i, a := range mrow {
+		for di, a := range mrow {
 			if a == 0 {
 				continue
 			}
-			orow := out.Row(i)
+			drow := dst.Row(i0 + di)
 			for j, b := range okrow {
-				orow[j] += a * b
+				drow[j] += a * b
 			}
 		}
 	}
-	return out
+}
+
+// scratchPool recycles buffers for the Into-style kernels: the autograd
+// backward rules and the tape-free inference paths need a temporary per
+// call, and at thousands of calls per query the allocations become a
+// measurable garbage-collector cost.
+var scratchPool = sync.Pool{New: func() interface{} { return new(Matrix) }}
+
+// GetScratch returns a zeroed rows x cols matrix drawn from the shared
+// scratch pool. Return it with PutScratch when done; the caller must not
+// retain the matrix (or slices of its Data) afterwards.
+func GetScratch(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative shape %dx%d", rows, cols))
+	}
+	m := scratchPool.Get().(*Matrix)
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// PutScratch returns a matrix obtained from GetScratch to the pool.
+func PutScratch(m *Matrix) {
+	if m != nil {
+		scratchPool.Put(m)
+	}
 }
 
 // Add returns m + o.

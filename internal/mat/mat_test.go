@@ -121,6 +121,109 @@ func TestShapePanics(t *testing.T) {
 	}
 }
 
+// naiveMul is the reference triple loop the tiled kernels must match bit
+// for bit (same ascending-k accumulation per output element).
+func naiveMul(m, o *Matrix) *Matrix {
+	out := New(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < o.Cols; j++ {
+			s := 0.0
+			for k := 0; k < m.Cols; k++ {
+				s += m.At(i, k) * o.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestTiledKernelsBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Shapes straddling the tile boundaries, including a parallel-sized
+	// product (work > parallelMinWork) so the goroutine split is covered.
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 4}, {17, 129, 31}, {130, 257, 129}, {96, 96, 96}}
+	if !testing.Short() {
+		shapes = append(shapes, [3]int{120, 300, 160}) // 120*300*160 > parallelMinWork
+	}
+	for _, s := range shapes {
+		a := Randn(s[0], s[1], 1, rng)
+		b := Randn(s[1], s[2], 1, rng)
+		want := naiveMul(a, b)
+		if MaxAbsDiff(Mul(a, b), want) != 0 {
+			t.Fatalf("Mul %v not bit-identical to naive", s)
+		}
+		if MaxAbsDiff(MulT(a, Transpose(b)), want) != 0 {
+			t.Fatalf("MulT %v not bit-identical to naive", s)
+		}
+		if MaxAbsDiff(TMul(Transpose(a), b), want) != 0 {
+			t.Fatalf("TMul %v not bit-identical to naive", s)
+		}
+	}
+}
+
+func TestIntoVariantsMatchAndReuseDirtyDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(9, 17, 1, rng)
+	b := Randn(17, 13, 1, rng)
+	dst := Randn(9, 13, 1, rng) // dirty destination must be fully overwritten
+	if MaxAbsDiff(MulInto(dst, a, b), Mul(a, b)) != 0 {
+		t.Fatalf("MulInto differs from Mul")
+	}
+	bt := Transpose(b)
+	dst2 := Randn(9, 13, 1, rng)
+	if MaxAbsDiff(MulTInto(dst2, a, bt), MulT(a, bt)) != 0 {
+		t.Fatalf("MulTInto differs from MulT")
+	}
+	c := Randn(9, 13, 1, rng)
+	dst4 := Randn(17, 13, 1, rng)
+	if MaxAbsDiff(TMulInto(dst4, a, c), TMul(a, c)) != 0 {
+		t.Fatalf("TMulInto differs from TMul")
+	}
+}
+
+func TestIntoShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { MulInto(New(2, 2), New(2, 3), New(3, 3)) },  // dst cols wrong
+		func() { MulInto(New(2, 3), New(2, 4), New(3, 3)) },  // inner mismatch
+		func() { MulTInto(New(2, 2), New(2, 3), New(4, 3)) }, // dst cols wrong
+		func() { TMulInto(New(2, 2), New(4, 3), New(4, 2)) }, // dst rows wrong
+		func() { GetScratch(-1, 2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScratchIsZeroedAndResized(t *testing.T) {
+	m := GetScratch(3, 4)
+	for i := range m.Data {
+		m.Data[i] = float64(i + 1)
+	}
+	PutScratch(m)
+	for trial := 0; trial < 4; trial++ {
+		s := GetScratch(2, 3)
+		if s.Rows != 2 || s.Cols != 3 || len(s.Data) != 6 {
+			t.Fatalf("GetScratch shape %dx%d len %d", s.Rows, s.Cols, len(s.Data))
+		}
+		if s.Norm2() != 0 {
+			t.Fatalf("GetScratch returned dirty buffer %v", s.Data)
+		}
+		PutScratch(s)
+	}
+	big := GetScratch(10, 10) // larger than anything pooled so far
+	if len(big.Data) != 100 || big.Norm2() != 0 {
+		t.Fatalf("GetScratch growth broken")
+	}
+	PutScratch(big)
+}
+
 func TestZeroAndClone(t *testing.T) {
 	m := FromSlice(1, 3, []float64{1, 2, 3})
 	c := m.Clone()

@@ -5,6 +5,7 @@ import (
 
 	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/internal/autograd"
+	"github.com/lansearch/lan/internal/cg"
 	"github.com/lansearch/lan/internal/cluster"
 	"github.com/lansearch/lan/internal/mat"
 	"github.com/lansearch/lan/internal/nn"
@@ -156,6 +157,9 @@ type InitialSelector struct {
 	// members. O(|D|) predictions — kept for the paper's basic-vs-
 	// optimized ablation.
 	Exhaustive bool
+	// QueryCG, when set, is the query's precomputed compressed GNN-graph
+	// (the engine builds it once per search); nil makes Select build it.
+	QueryCG *cg.Compressed
 }
 
 // Select returns the initial node for routing Q over db. Fallbacks: when
@@ -187,10 +191,14 @@ func (s *InitialSelector) Select(db graph.Database, q *graph.Graph, cache *pg.Di
 		}
 	}
 
+	qc := s.QueryCG
+	if qc == nil {
+		qc = s.Mnh.QueryCG(q)
+	}
 	var predicted []int
 	bestProb, bestG := -1.0, -1
 	for _, g := range candidates {
-		p := s.Mnh.Prob(db[g], q)
+		p := s.Mnh.ProbCG(db[g], qc)
 		if s.Predictions != nil {
 			*s.Predictions++
 		}

@@ -6,6 +6,7 @@ import (
 	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/internal/autograd"
 	"github.com/lansearch/lan/internal/cg"
+	"github.com/lansearch/lan/internal/mat"
 	"github.com/lansearch/lan/internal/nn"
 )
 
@@ -45,12 +46,28 @@ func (m *NeighborhoodModel) logit(g, q *graph.Graph) *autograd.Value {
 	return m.head.Apply(headFeatures(crossEncode(m.cross, m.store, g, q), m.Cfg.Dim))
 }
 
+// QueryCG builds the query's compressed GNN-graph once, for reuse across
+// many ProbCG calls in one search.
+func (m *NeighborhoodModel) QueryCG(q *graph.Graph) *cg.Compressed { return m.store.Query(q) }
+
+// ProbCG is Prob with the query CG precomputed — the initial selector
+// evaluates one query against hundreds of candidates, so the query side
+// is encoded once per search instead of once per candidate. Tape-free
+// inference path (values identical to the training path).
+func (m *NeighborhoodModel) ProbCG(g *graph.Graph, qc *cg.Compressed) float64 {
+	cross := m.cross.Infer(m.store.For(g), qc)
+	feat := headFeatureVec(cross, m.Cfg.Dim)
+	in := mat.GetScratch(1, len(feat))
+	copy(in.Data, feat)
+	logit := m.head.Infer(in)
+	mat.PutScratch(in)
+	return sigmoid(logit.At(0, 0))
+}
+
 // Prob returns the predicted probability that G is in N_Q (tape-free
 // inference path).
 func (m *NeighborhoodModel) Prob(g, q *graph.Graph) float64 {
-	cross := crossEncodeInfer(m.cross, m.store, g, q)
-	logit := m.head.Apply(headFeatures(cross, m.Cfg.Dim))
-	return sigmoid(logit.Data.At(0, 0))
+	return m.ProbCG(g, m.QueryCG(q))
 }
 
 // Predict reports whether G is predicted to be in N_Q (threshold 0.5).

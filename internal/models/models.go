@@ -141,6 +141,12 @@ func (s *CGStore) For(g *graph.Graph) *cg.Compressed {
 	return c
 }
 
+// Query builds the compressed GNN-graph of a free-standing query without
+// touching the cache. The engine calls this once per search and threads
+// the result through every model invocation, instead of rebuilding the
+// query CG on each neighbor-ranking call.
+func (s *CGStore) Query(q *graph.Graph) *cg.Compressed { return s.build(q) }
+
 func (s *CGStore) build(g *graph.Graph) *cg.Compressed {
 	if s.useCG {
 		return cg.Build(g, s.Layers, s.Vocab)
@@ -212,12 +218,6 @@ func crossEncode(m *cg.CrossModel, store *CGStore, g, q *graph.Graph) *autograd.
 	return m.Forward(store.For(g), store.For(q))
 }
 
-// crossEncodeInfer is the tape-free inference path (identical values,
-// pinned by the cg package tests).
-func crossEncodeInfer(m *cg.CrossModel, store *CGStore, g, q *graph.Graph) *autograd.Value {
-	return m.InferValue(store.For(g), store.For(q))
-}
-
 // headFeatures augments a cross embedding h_G || h_Q (1 x 2*dim) with the
 // squared elementwise difference (h_G - h_Q)^2, giving classifier heads a
 // direct closeness signal.
@@ -226,6 +226,19 @@ func headFeatures(cross *autograd.Value, dim int) *autograd.Value {
 	hq := autograd.GatherCols(cross, dim, 2*dim)
 	diff := autograd.Add(hg, autograd.Scale(hq, -1))
 	return autograd.ConcatCols(cross, autograd.Mul(diff, diff))
+}
+
+// headFeatureVec is headFeatures on raw floats (the tape-free inference
+// twin; identical values since a-b, (-1)*b and elementwise square match
+// the autograd ops bit for bit).
+func headFeatureVec(cross []float64, dim int) []float64 {
+	out := make([]float64, 0, len(cross)+dim)
+	out = append(out, cross...)
+	for i := 0; i < dim; i++ {
+		d := cross[i] - cross[dim+i]
+		out = append(out, d*d)
+	}
+	return out
 }
 
 // sigmoid is the scalar logistic function.

@@ -171,7 +171,7 @@ func TestNeighborRankerRankerAdapter(t *testing.T) {
 	cfg := Config{Layers: 2, Dim: 6, BatchPercent: 25, GammaStar: f.gamma, Seed: 2}
 	r := NewNeighborRanker(cfg, f.store)
 	calls := 0
-	rk := r.Ranker(f.db, f.queries[0], &calls)
+	rk := r.Ranker(f.db, f.queries[0], nil, &calls)
 
 	neighbors := f.index.PG.Neighbors(0)
 	if len(neighbors) < 2 {

@@ -27,6 +27,12 @@ type NeighborRanker struct {
 	node  *cg.GINModel   // encodes the current node G
 	heads []*nn.MLP      // one binary head per partial ranker
 	store *CGStore
+
+	// nodeEmbs[i] is the precomputed h_G of database graph i (nil until
+	// PrecomputeNodeEmbeddings or SetNodeEmbeddings runs). The router
+	// needs h_G for every ranking call; computing all of them once at
+	// index-build time moves that cost offline.
+	nodeEmbs [][]float64
 }
 
 // NewNeighborRanker builds an untrained M_rk over the store's vocabulary.
@@ -67,28 +73,80 @@ func (r *NeighborRanker) logits(q, neighbor, node *graph.Graph) []*autograd.Valu
 // Score returns the summed head probability for one neighbor — a monotone
 // proxy for its predicted rank (higher means predicted closer to Q).
 func (r *NeighborRanker) Score(q, neighbor, node *graph.Graph) float64 {
-	hg := r.node.Embed(r.store.For(node))
-	return r.scoreWithNodeEmbedding(q, neighbor, hg)
+	return r.scoreWithNodeEmbedding(r.store.For(q), neighbor, r.nodeEmbedding(node))
 }
 
-// scoreWithNodeEmbedding scores a neighbor given the current node's
-// precomputed embedding (the router ranks many neighbors of one node, so
-// h_G is computed once per ranking call). Tape-free inference path.
-func (r *NeighborRanker) scoreWithNodeEmbedding(q, neighbor *graph.Graph, nodeEmb []float64) float64 {
-	hgq := crossEncodeInfer(r.cross, r.store, neighbor, q)
-	in := autograd.ConcatCols(hgq, autograd.Const(mat.FromSlice(1, len(nodeEmb), nodeEmb)))
+// PrecomputeNodeEmbeddings embeds every database graph with the node
+// encoder once (batched across workers goroutines) so the router never
+// pays h_G at query time. Call after training; SetNodeEmbeddings restores
+// the same state from a snapshot.
+func (r *NeighborRanker) PrecomputeNodeEmbeddings(db graph.Database, workers int) {
+	cs := make([]*cg.Compressed, len(db))
+	for i, g := range db {
+		cs[i] = r.store.For(g)
+	}
+	r.nodeEmbs = r.node.BatchEmbed(cs, workers)
+}
+
+// NodeEmbeddings returns the precomputed database embeddings (nil if
+// PrecomputeNodeEmbeddings has not run); the slice is shared, not copied.
+func (r *NeighborRanker) NodeEmbeddings() [][]float64 { return r.nodeEmbs }
+
+// SetNodeEmbeddings installs embeddings loaded from a snapshot. It
+// validates the shape against the database size and the encoder's output
+// dimension.
+func (r *NeighborRanker) SetNodeEmbeddings(embs [][]float64, dbSize int) error {
+	if len(embs) != dbSize {
+		return errf("%d node embeddings for %d database graphs", len(embs), dbSize)
+	}
+	for i, e := range embs {
+		if len(e) != r.Cfg.Dim {
+			return errf("node embedding %d has dim %d, want %d", i, len(e), r.Cfg.Dim)
+		}
+	}
+	r.nodeEmbs = embs
+	return nil
+}
+
+// nodeEmbedding returns h_G for a graph, served from the precomputed
+// table when the graph is a database member covered by it.
+func (r *NeighborRanker) nodeEmbedding(node *graph.Graph) []float64 {
+	if node.ID >= 0 && node.ID < len(r.nodeEmbs) && r.nodeEmbs[node.ID] != nil {
+		return r.nodeEmbs[node.ID]
+	}
+	return r.node.Embed(r.store.For(node))
+}
+
+// scoreWithNodeEmbedding scores a neighbor given the query's compressed
+// GNN-graph and the current node's embedding (the router ranks many
+// neighbors of one node for one query, so both are computed once per
+// ranking call — and qc once per search). Tape-free inference path; the
+// values match the autograd path bit for bit because MLP.Infer shares
+// Apply's kernels.
+func (r *NeighborRanker) scoreWithNodeEmbedding(qc *cg.Compressed, neighbor *graph.Graph, nodeEmb []float64) float64 {
+	cross := r.cross.Infer(r.store.For(neighbor), qc)
+	in := mat.GetScratch(1, len(cross)+len(nodeEmb))
+	copy(in.Data, cross)
+	copy(in.Data[len(cross):], nodeEmb)
 	s := 0.0
 	for _, h := range r.heads {
-		s += sigmoid(h.Apply(in).Data.At(0, 0))
+		out := h.Infer(in)
+		s += sigmoid(out.At(0, 0))
 	}
+	mat.PutScratch(in)
 	return s
 }
 
 // Ranker adapts M_rk to the router: inside N_Q (dCurrent <= GammaStar)
 // neighbors are ordered by predicted score and cut into y% batches;
 // outside, a single batch disables pruning, per the paper's Sec. IV-C.
-// Calls counts model invocations for the time-breakdown experiments.
-func (r *NeighborRanker) Ranker(db graph.Database, q *graph.Graph, calls *int) route.Ranker {
+// qc is the query's compressed GNN-graph, built once per search (nil
+// falls back to building it here). Calls counts model invocations for the
+// time-breakdown experiments.
+func (r *NeighborRanker) Ranker(db graph.Database, q *graph.Graph, qc *cg.Compressed, calls *int) route.Ranker {
+	if qc == nil {
+		qc = r.store.Query(q)
+	}
 	return route.RankerFunc(func(node int, neighbors []int, dCurrent float64) [][]int {
 		if dCurrent > r.Cfg.GammaStar || len(neighbors) <= 1 {
 			return route.SplitBatches(append([]int(nil), neighbors...), 100)
@@ -97,10 +155,10 @@ func (r *NeighborRanker) Ranker(db graph.Database, q *graph.Graph, calls *int) r
 			id    int
 			score float64
 		}
-		nodeEmb := r.node.Embed(r.store.For(db[node]))
+		nodeEmb := r.nodeEmbedding(db[node])
 		ss := make([]scored, len(neighbors))
 		for i, nb := range neighbors {
-			ss[i] = scored{id: nb, score: r.scoreWithNodeEmbedding(q, db[nb], nodeEmb)}
+			ss[i] = scored{id: nb, score: r.scoreWithNodeEmbedding(qc, db[nb], nodeEmb)}
 			if calls != nil {
 				*calls++
 			}

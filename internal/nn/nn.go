@@ -162,6 +162,44 @@ func (m *MLP) Apply(x *autograd.Value) *autograd.Value {
 	return x
 }
 
+// Infer runs the MLP on x (N x sizes[0]) without building an autograd
+// tape, using pooled scratch for the hidden activations. The arithmetic
+// (kernel, accumulation order, bias broadcast, ReLU) matches Apply
+// exactly, so Infer(x) equals Apply(Const(x)).Data bit for bit. x is not
+// modified; the returned matrix is freshly allocated and owned by the
+// caller.
+func (m *MLP) Infer(x *mat.Matrix) *mat.Matrix {
+	cur := x
+	for i, l := range m.Layers {
+		var next *mat.Matrix
+		if i == len(m.Layers)-1 {
+			next = mat.New(cur.Rows, l.W.Data.Cols)
+		} else {
+			next = mat.GetScratch(cur.Rows, l.W.Data.Cols)
+		}
+		mat.MulInto(next, cur, l.W.Data)
+		bias := l.B.Data.Row(0)
+		for r := 0; r < next.Rows; r++ {
+			row := next.Row(r)
+			for j, b := range bias {
+				row[j] += b
+			}
+		}
+		if i < len(m.Layers)-1 {
+			for j, v := range next.Data {
+				if v < 0 {
+					next.Data[j] = 0
+				}
+			}
+		}
+		if cur != x {
+			mat.PutScratch(cur)
+		}
+		cur = next
+	}
+	return cur
+}
+
 // Adam is the Adam optimizer with decoupled L2 weight decay.
 type Adam struct {
 	LR          float64

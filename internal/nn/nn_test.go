@@ -141,6 +141,20 @@ func TestMLPRegressionWithMSE(t *testing.T) {
 	}
 }
 
+func TestMLPInferMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewParams()
+	m := NewMLP(p, "mlp", []int{5, 8, 3, 1}, rng)
+	for trial := 0; trial < 10; trial++ {
+		x := mat.Randn(1+rng.Intn(4), 5, 1, rng)
+		want := m.Apply(autograd.Const(x)).Data
+		got := m.Infer(x)
+		if mat.MaxAbsDiff(got, want) != 0 {
+			t.Fatalf("Infer not bit-identical to Apply (diff %g)", mat.MaxAbsDiff(got, want))
+		}
+	}
+}
+
 func TestAdamWeightDecayShrinksUnusedParams(t *testing.T) {
 	p := NewParams()
 	w := p.Add("w", mat.FromSlice(1, 1, []float64{10}))

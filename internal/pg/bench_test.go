@@ -1,0 +1,23 @@
+package pg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Build benchmarks: sequential vs pooled construction over the clustered
+// generator database. On multi-core hardware the Workers>1 runs show the
+// candidate-beam GED fan-out; on a single core they bound the pool's
+// overhead (the built index is identical either way).
+func BenchmarkBuild(b *testing.B) {
+	db := clusteredDB(1, 8, 8)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(db, BuildConfig{M: 6, EfConstruction: 16, Seed: 1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

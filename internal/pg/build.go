@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"github.com/lansearch/lan/ged"
@@ -26,6 +27,13 @@ type BuildConfig struct {
 	// assignment and connectivity-repair sampling; it takes precedence
 	// over Seed.
 	RNG *rand.Rand
+	// Workers bounds the goroutines evaluating candidate-beam GED
+	// distances concurrently (default runtime.NumCPU(); 1 disables the
+	// pool). The built index is bit-identical across worker counts:
+	// distances are pure functions prefetched in parallel but merged in
+	// fixed candidate order, and all RNG-driven decisions stay on the
+	// inserting goroutine.
+	Workers int
 }
 
 func (c *BuildConfig) defaults() {
@@ -37,6 +45,9 @@ func (c *BuildConfig) defaults() {
 	}
 	if c.Metric == nil {
 		c.Metric = ged.MetricFunc(ged.Hungarian)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
 	}
 }
 
@@ -55,6 +66,9 @@ type HNSW struct {
 
 	m           int
 	buildMetric ged.Metric
+	// pool fans distance prefetches out during construction; nil outside
+	// Build (and when Workers == 1), making every prefetch sequential.
+	pool *workerPool
 }
 
 // MaxLevel returns the highest populated layer.
@@ -62,16 +76,12 @@ func (h *HNSW) MaxLevel() int { return len(h.Upper) }
 
 // Build constructs an HNSW index over db. Distances between database
 // members are memoized, so the build performs each pairwise GED at most
-// once.
+// once. Candidate-beam distances are evaluated across cfg.Workers
+// goroutines; the result is bit-identical to a Workers=1 build.
 func Build(db graph.Database, cfg BuildConfig) (*HNSW, error) {
 	cfg.defaults()
-	if len(db) == 0 {
-		return nil, fmt.Errorf("pg: empty database")
-	}
-	for i, g := range db {
-		if g.ID != i {
-			return nil, fmt.Errorf("pg: graph %d has ID %d; use graph.NewDatabase", i, g.ID)
-		}
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("pg: %w", err)
 	}
 	rng := cfg.RNG
 	if rng == nil {
@@ -85,6 +95,13 @@ func Build(db graph.Database, cfg BuildConfig) (*HNSW, error) {
 		Entry:       0,
 		m:           cfg.M,
 		buildMetric: ged.NewCounter(cfg.Metric), // memoizes by (ID, ID)
+	}
+	if cfg.Workers > 1 {
+		h.pool = newWorkerPool(cfg.Workers)
+		defer func() {
+			h.pool.close()
+			h.pool = nil
+		}()
 	}
 
 	for i := range db {
@@ -137,6 +154,7 @@ func (h *HNSW) repairConnectivity(rng *rand.Rand) {
 		bu, bv, bd := -1, -1, 0.0
 		for _, u := range from {
 			c := NewDistCache(h.buildMetric, h.PG.DB, h.PG.DB[u])
+			c.Prefetch(to, h.pool)
 			for _, v := range to {
 				if d := c.Dist(v); bu == -1 || d < bd {
 					bu, bv, bd = u, v, d
@@ -209,7 +227,7 @@ func (h *HNSW) insert(i, level, efConstruction int) {
 		start = top
 	}
 	for l := start; l >= 0; l-- {
-		results := searchLayer(c, h.layerNeighbors(l), ep, efConstruction)
+		results := searchLayer(c, h.layerNeighbors(l), ep, efConstruction, h.pool)
 		for _, r := range h.selectNeighbors(c, results, h.maxDegree(l)) {
 			h.connect(l, i, r.ID)
 		}
@@ -283,12 +301,15 @@ func (h *HNSW) layerNeighbors(l int) func(int) []int {
 }
 
 // greedyStep runs greedy search to the local optimum on layer l from ep.
+// Each step's neighbor distances are prefetched through the build pool.
 func (h *HNSW) greedyStep(l, ep int, c *DistCache) int {
 	neighbors := h.layerNeighbors(l)
 	for {
 		best := ep
 		bd := c.Dist(ep)
-		for _, nb := range neighbors(ep) {
+		ns := neighbors(ep)
+		c.Prefetch(ns, h.pool)
+		for _, nb := range ns {
 			if d := c.Dist(nb); d < bd {
 				best, bd = nb, d
 			}
@@ -363,6 +384,7 @@ func (h *HNSW) removeDirected(l, u, v int) {
 // dropped nodes.
 func (h *HNSW) shrink(u int, ns []int, cap int) (kept, dropped []int) {
 	c := NewDistCache(h.buildMetric, h.PG.DB, h.PG.DB[u])
+	c.Prefetch(ns, h.pool)
 	cands := make([]Candidate, len(ns))
 	for i, v := range ns {
 		cands[i] = Candidate{ID: v, Dist: c.Dist(v)}

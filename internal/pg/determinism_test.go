@@ -1,0 +1,74 @@
+package pg
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/lansearch/lan/ged"
+)
+
+// TestParallelBuildBitIdentical pins the tentpole guarantee: a build with
+// a worker pool produces exactly the same HNSW — base adjacency, upper
+// layers, level assignment, entry point — as the sequential build, for
+// several seeds. Run under -race this also exercises the prefetch fan-out
+// for data races (the test is -short friendly so race CI covers it).
+func TestParallelBuildBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		db := clusteredDB(seed, 6, 6)
+		cfg := BuildConfig{M: 4, EfConstruction: 12, Seed: seed}
+
+		cfg.Workers = 1
+		seq, err := Build(db, cfg)
+		if err != nil {
+			t.Fatalf("seed %d sequential Build: %v", seed, err)
+		}
+		cfg.Workers = 4
+		par, err := Build(db, cfg)
+		if err != nil {
+			t.Fatalf("seed %d parallel Build: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(seq.PG.Adj, par.PG.Adj) {
+			t.Errorf("seed %d: base-layer adjacency differs between Workers=1 and Workers=4", seed)
+		}
+		if !reflect.DeepEqual(seq.Upper, par.Upper) {
+			t.Errorf("seed %d: upper layers differ between Workers=1 and Workers=4", seed)
+		}
+		if !reflect.DeepEqual(seq.Level, par.Level) {
+			t.Errorf("seed %d: level assignment differs between Workers=1 and Workers=4", seed)
+		}
+		if seq.Entry != par.Entry {
+			t.Errorf("seed %d: entry %d (Workers=1) vs %d (Workers=4)", seed, seq.Entry, par.Entry)
+		}
+	}
+}
+
+// TestPrefetchMatchesSequentialNDC checks that Prefetch leaves the cache
+// in exactly the state sequential Dist calls would: same memo, same NDC,
+// including when the batch holds duplicates and already-known ids.
+func TestPrefetchMatchesSequentialNDC(t *testing.T) {
+	db := clusteredDB(9, 3, 4)
+	metric := ged.MetricFunc(ged.Hungarian)
+	seqCache := NewDistCache(metric, db, db[0])
+	for _, id := range []int{1, 2, 3, 1, 2, 5} {
+		seqCache.Dist(id)
+	}
+
+	pool := newWorkerPool(4)
+	defer pool.close()
+	parCache := NewDistCache(metric, db, db[0])
+	parCache.Dist(1) // pre-known id must be skipped by the prefetch
+	parCache.Prefetch([]int{1, 2, 3, 1, 2, 5}, pool)
+
+	if seqCache.NDC() != parCache.NDC() {
+		t.Fatalf("NDC %d sequential vs %d prefetched", seqCache.NDC(), parCache.NDC())
+	}
+	for _, id := range []int{1, 2, 3, 5} {
+		if !parCache.Known(id) {
+			t.Fatalf("id %d not memoized after Prefetch", id)
+		}
+		if seqCache.Dist(id) != parCache.Dist(id) {
+			t.Fatalf("distance to %d differs", id)
+		}
+	}
+}

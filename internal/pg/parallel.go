@@ -1,0 +1,36 @@
+package pg
+
+import "sync"
+
+// workerPool is a fixed set of goroutines that evaluate closures for the
+// duration of one index build. Spawning goroutines per candidate batch
+// would churn the scheduler at every insertion; the pool amortizes that
+// over the whole build.
+type workerPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// newWorkerPool starts n worker goroutines.
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make(chan func())}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues one job; it blocks until a worker is free to take it.
+func (p *workerPool) submit(job func()) { p.jobs <- job }
+
+// close stops the workers after the queued jobs drain.
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -8,6 +8,7 @@ package pg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/lansearch/lan/ged"
 	"github.com/lansearch/lan/graph"
@@ -80,6 +81,56 @@ func (c *DistCache) Dist(id int) float64 {
 	c.memo[id] = d
 	c.ndc++
 	return d
+}
+
+// Prefetch computes the distances to ids that are not yet memoized,
+// fanning the GED evaluations across pool (when non-nil) and merging the
+// results into the memo in the ids' order. Because Dist is a pure
+// function of (Q, id), prefetching then reading is indistinguishable from
+// sequential evaluation: the memo contents and the NDC count come out
+// identical. The cache itself stays single-threaded — only the metric
+// calls run concurrently.
+func (c *DistCache) Prefetch(ids []int, pool *workerPool) {
+	var pending []int
+	for _, id := range ids {
+		if _, ok := c.memo[id]; ok {
+			continue
+		}
+		dup := false
+		for _, p := range pending {
+			if p == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pending = append(pending, id)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	if pool == nil || len(pending) < 2 {
+		for _, id := range pending {
+			c.Dist(id)
+		}
+		return
+	}
+	out := make([]float64, len(pending))
+	var wg sync.WaitGroup
+	wg.Add(len(pending))
+	for i, id := range pending {
+		i, id := i, id
+		pool.submit(func() {
+			defer wg.Done()
+			out[i] = c.Metric.Distance(c.DB[id], c.Q)
+		})
+	}
+	wg.Wait()
+	for i, id := range pending {
+		c.memo[id] = out[i]
+		c.ndc++
+	}
 }
 
 // Known reports whether the distance to id has already been computed.

@@ -293,7 +293,7 @@ func TestSearchLayerReturnsAscending(t *testing.T) {
 	h := buildTestIndex(t, db)
 	q := db[0]
 	c := NewDistCache(ged.MetricFunc(ged.VJ), db, q)
-	res := searchLayer(c, h.PG.Neighbors, 5, 8)
+	res := searchLayer(c, h.PG.Neighbors, 5, 8, nil)
 	if len(res) == 0 {
 		t.Fatal("empty result")
 	}

@@ -175,12 +175,16 @@ func BeamSearchContext(ctx context.Context, p *PG, c *DistCache, entry, k, b int
 
 // searchLayer is the standard ef-search used during index construction:
 // greedy best-first expansion bounded by an ef-sized result set, over an
-// arbitrary adjacency function.
-func searchLayer(c *DistCache, neighbors func(int) []int, entry int, ef int) []Candidate {
+// arbitrary adjacency function. When pool is non-nil the unvisited
+// neighbors of each expanded node are prefetched concurrently; the merge
+// back into the cache is ordered, so the search trajectory — and hence
+// the built index — is identical to the sequential run.
+func searchLayer(c *DistCache, neighbors func(int) []int, entry int, ef int, pool *workerPool) []Candidate {
 	visited := map[int]bool{entry: true}
 	entryCand := Candidate{ID: entry, Dist: c.Dist(entry)}
 	cands := []Candidate{entryCand}   // frontier, ascending
 	results := []Candidate{entryCand} // best ef, ascending
+	var batch []int
 	for len(cands) > 0 {
 		cur := cands[0]
 		cands = cands[1:]
@@ -188,10 +192,14 @@ func searchLayer(c *DistCache, neighbors func(int) []int, entry int, ef int) []C
 		if cur.Dist > worst.Dist && len(results) >= ef {
 			break
 		}
+		batch = batch[:0]
 		for _, nb := range neighbors(cur.ID) {
-			if visited[nb] {
-				continue
+			if !visited[nb] {
+				batch = append(batch, nb)
 			}
+		}
+		c.Prefetch(batch, pool)
+		for _, nb := range batch {
 			visited[nb] = true
 			d := c.Dist(nb)
 			if len(results) < ef || d < results[len(results)-1].Dist {

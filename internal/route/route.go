@@ -21,7 +21,10 @@ import (
 // query and partitions them into batches (B_0 holds the predicted-closest
 // y% and so on). dCurrent is the known distance from the query to the node
 // whose neighbors are ranked — learned rankers use it to fall back to a
-// single batch outside the query's neighborhood.
+// single batch outside the query's neighborhood. Rankers are constructed
+// per query, so implementations may close over per-search state (the
+// learned ranker caches the query's compressed GNN-graph this way; see
+// models.NeighborRanker.Ranker).
 type Ranker interface {
 	Batches(node int, neighbors []int, dCurrent float64) [][]int
 }

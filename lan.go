@@ -81,6 +81,11 @@ type Options struct {
 	LR     float64
 	// StepSize is the routing threshold increment d_s (default 1).
 	StepSize float64
+	// Workers bounds the concurrency of offline index construction: the
+	// proximity-graph build pool and the node-embedding precompute fan
+	// out across this many goroutines (default runtime.NumCPU; 1 forces
+	// sequential). The built index is bit-identical for every setting.
+	Workers int
 	// Seed makes builds reproducible.
 	Seed int64
 }
@@ -155,6 +160,7 @@ func Build(db graph.Database, trainQueries []*graph.Graph, o Options) (*Index, e
 		Clusters: o.Clusters, TopClusters: o.TopClusters, Samples: o.Samples,
 		Train:    trainOptions(o),
 		StepSize: o.StepSize,
+		Workers:  o.Workers,
 		Seed:     o.Seed,
 	})
 	if err != nil {
@@ -231,6 +237,7 @@ func ReadIndex(db graph.Database, r io.Reader, o Options) (*Index, error) {
 func Load(db graph.Database, r io.Reader, o Options) (*Index, error) {
 	eng, err := core.Load(db, r, core.Options{
 		BuildMetric: o.BuildMetric, QueryMetric: o.QueryMetric,
+		Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -48,7 +48,10 @@ type BuildParams struct {
 	M        int
 	Epochs   int
 	GammaKNN int
-	Seed     int64
+	// Workers bounds index-build concurrency (0 = NumCPU); the built
+	// index is bit-identical for every setting.
+	Workers int
+	Seed    int64
 }
 
 // BuildIndex builds a lan.Index from flag-shaped parameters.
@@ -57,7 +60,8 @@ func BuildIndex(db graph.Database, queries []*graph.Graph, p BuildParams) (*lan.
 		return nil, fmt.Errorf("lanio: empty training workload")
 	}
 	return lan.Build(db, queries, lan.Options{
-		Dim: p.Dim, M: p.M, Epochs: p.Epochs, GammaKNN: p.GammaKNN, Seed: p.Seed,
+		Dim: p.Dim, M: p.M, Epochs: p.Epochs, GammaKNN: p.GammaKNN,
+		Workers: p.Workers, Seed: p.Seed,
 	})
 }
 
@@ -85,6 +89,9 @@ func SaveIndex(path string, idx *lan.Index) error {
 // lan-train built it on, reloaded with ReadDatabase). Options supply the
 // GED metrics; the zero value matches lan-train's defaults.
 func LoadIndex(path string, db graph.Database, o lan.Options) (*lan.Index, error) {
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("lanio: %w", err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -46,8 +46,8 @@ type ShardedOptions struct {
 // rest, which in practice is approximated by reusing the whole workload
 // per shard (training cost stays bounded by the per-shard caps).
 func BuildSharded(db graph.Database, trainQueries []*graph.Graph, so ShardedOptions) (*ShardedIndex, error) {
-	if len(db) == 0 {
-		return nil, fmt.Errorf("lan: empty database")
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("lan: %w", err)
 	}
 	size := so.ShardSize
 	if size <= 0 {
