@@ -29,19 +29,20 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# Micro-benchmarks (mat kernels, parallel vs sequential PG build, root
-# package ablations) plus the end-to-end lan-bench run, which writes a
-# BENCH_<timestamp>.json summary with build speedups and query latency
-# percentiles; see DESIGN.md "Performance architecture".
+# Micro-benchmarks (mat kernels, GED beam kernel, parallel vs sequential
+# PG build, pool resize, root package ablations) plus the end-to-end
+# lan-bench run, which writes a BENCH_<timestamp>.json summary with build
+# and query speedups and latency percentiles; see DESIGN.md "Performance
+# architecture".
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' ./internal/mat ./internal/pg .
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/mat ./internal/pg ./ged .
 	$(GO) run ./cmd/lan-bench -exp tab1
 
 # Benchmark smoke for CI: every benchmark runs exactly once so a
 # regression that panics or deadlocks is caught without paying for
 # statistically meaningful timings.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/mat ./internal/pg
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/mat ./internal/pg ./ged
 
 # Regenerate the paper's evaluation on the dataset simulators.
 experiments:

@@ -84,7 +84,18 @@ func main() {
 				all = append(all, hit{si, r.ID, r.Dist})
 			}
 		}
-		sort.Slice(all, func(i, j int) bool { return all[i].dist < all[j].dist })
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].dist < all[j].dist {
+				return true
+			}
+			if all[i].dist > all[j].dist {
+				return false
+			}
+			if all[i].shard != all[j].shard {
+				return all[i].shard < all[j].shard
+			}
+			return all[i].id < all[j].id
+		})
 		elapsed := time.Since(start)
 		_ = shards
 		fmt.Printf("%8d %8d %14s %10.0f\n", scale, len(indexes), elapsed.Round(time.Microsecond), all[0].dist)

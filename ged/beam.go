@@ -1,9 +1,10 @@
 package ged
 
 import (
-	"sort"
+	"sync"
 
 	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/order"
 )
 
 // beamSearch computes an upper bound of GED via beam search over the same
@@ -11,6 +12,20 @@ import (
 // mappings (by cost + admissible heuristic) are kept. This is the "Beam"
 // algorithm of Neuhaus, Riesen and Bunke used in the paper's ground-truth
 // protocol. Width w <= 0 defaults to 8.
+//
+// The kernel is the hottest code in the serving path: every ged.Ensemble
+// distance pays at least one beam search, and a single query pays 60-130
+// ensemble distances. It therefore runs on a pooled, reusable arena
+// (beamCtx) instead of the A* searchCtx: states live in flat per-depth
+// arenas, label histograms are dense []int32 counters over interned label
+// ids rather than map[string]int, the per-state edge statistics are
+// maintained incrementally, and the per-depth frontier truncation is a
+// partial top-w heap selection instead of a full sort. Steady-state the
+// kernel allocates nothing (see BenchmarkBeamKernel / TestBeamKernelAllocs).
+//
+// Ties on f are broken by state creation order — the order the old
+// sort-based kernel enumerated children in — so the kept frontier is a
+// deterministic function of the input pair, not of sort internals.
 func beamSearch(g, h *graph.Graph, w int) float64 {
 	if w <= 0 {
 		w = 8
@@ -18,33 +33,444 @@ func beamSearch(g, h *graph.Graph, w int) float64 {
 	if g.N() > h.N() {
 		g, h = h, g
 	}
-	c := newSearchCtx(g, h)
-	frontier := []*state{c.initial()}
-	if g.N() == 0 {
-		return frontier[0].cost
+	c := beamCtxPool.Get().(*beamCtx)
+	d := c.run(g, h, w)
+	c.g, c.h = nil, nil // do not retain the graphs across pool reuse
+	beamCtxPool.Put(c)
+	return d
+}
+
+var beamCtxPool = sync.Pool{New: func() interface{} { return newBeamCtx() }}
+
+// beamState is one surviving partial mapping of the frontier. phi and used
+// are slices into the context's per-depth arenas; the struct itself is
+// stored by value in the frontier slice, so keeping a frontier allocates
+// nothing.
+type beamState struct {
+	cost float64
+	f    float64
+	// usedN counts used h nodes; bothUsed counts h edges with both
+	// endpoints used; remEdges counts h edges with both endpoints unused.
+	// The three are maintained incrementally so neither the heuristic nor
+	// the terminal completion cost ever scans h's edge set.
+	usedN    int32
+	bothUsed int32
+	remEdges int32
+	phi      []int32
+	used     []uint64
+}
+
+// beamCand is a child state before frontier truncation: assignment
+// metadata only. phi/used bitsets are materialized for the top-w survivors
+// after selection, so the (much larger) rejected majority never pays the
+// arena copy.
+type beamCand struct {
+	cost     float64
+	f        float64
+	parent   int32
+	w        int32 // h node, or unmapped
+	usedN    int32
+	bothUsed int32
+	remEdges int32
+}
+
+// beamCtx is the reusable arena for one beam search. All slices grow
+// monotonically and are reused across calls via beamCtxPool, so after a
+// few calls at the corpus' working sizes the kernel reaches a zero-alloc
+// steady state.
+type beamCtx struct {
+	g, h   *graph.Graph
+	gN, hN int
+	hWords int
+	hM     int32
+
+	// Label interning: labelID maps label strings of both graphs to dense
+	// ids; gLab/hLab hold the interned label of each node.
+	labelID map[string]int32
+	nLabels int
+	gLab    []int32
+	hLab    []int32
+
+	// Static g-side data (identical to the A* searchCtx, in dense form).
+	order       []int32 // g nodes in processing order (degree descending)
+	pos         []int32 // pos[u] is the order position of g node u
+	suffixHist  []int32 // (gN+1) x nLabels label histogram of order[i:]
+	suffixEdges []int32 // edges with both endpoints at positions >= i
+	hHist       []int32 // label histogram of h
+
+	// usedHist is the per-parent scratch histogram of used-h-node labels;
+	// children adjust it by one label around their heuristic evaluation.
+	usedHist []int32
+
+	frontier []beamState
+	next     []beamState
+	cands    []beamCand
+	heap     []int32 // candidate indices, max-heap by (f, creation index)
+
+	// Ping-pong state arenas: the frontier lives in the A buffers while
+	// survivors are materialized into the B buffers, then the pair swaps.
+	phiA, phiB   []int32
+	usedA, usedB []uint64
+}
+
+func newBeamCtx() *beamCtx {
+	return &beamCtx{labelID: make(map[string]int32)}
+}
+
+// intern returns the dense id of label l, assigning the next id on first
+// sight.
+func (c *beamCtx) intern(l string) int32 {
+	if id, ok := c.labelID[l]; ok {
+		return id
 	}
-	for depth := 0; depth < g.N(); depth++ {
-		u := c.order[depth]
-		var next []*state
-		for _, s := range frontier {
-			for x := 0; x < h.N(); x++ {
+	id := int32(c.nLabels)
+	c.labelID[l] = id
+	c.nLabels++
+	return id
+}
+
+// reset prepares the arena for one (g, h) pair, reusing every buffer that
+// is already large enough.
+func (c *beamCtx) reset(g, h *graph.Graph) {
+	c.g, c.h = g, h
+	c.gN, c.hN = g.N(), h.N()
+	c.hWords = (c.hN + 63) / 64
+	c.hM = int32(h.M())
+
+	clear(c.labelID)
+	c.nLabels = 0
+	c.gLab = growInt32(c.gLab, c.gN)
+	for u := 0; u < c.gN; u++ {
+		c.gLab[u] = c.intern(g.Label(u))
+	}
+	c.hLab = growInt32(c.hLab, c.hN)
+	for x := 0; x < c.hN; x++ {
+		c.hLab[x] = c.intern(h.Label(x))
+	}
+
+	// Degree-descending processing order, exactly as the A* searchCtx
+	// computes it (insertion sort moving strictly greater degrees only, so
+	// equal degrees keep ascending-id order).
+	c.order = growInt32(c.order, c.gN)
+	for i := range c.order {
+		c.order[i] = int32(i)
+	}
+	for i := 1; i < c.gN; i++ {
+		for j := i; j > 0 && g.Degree(int(c.order[j])) > g.Degree(int(c.order[j-1])); j-- {
+			c.order[j], c.order[j-1] = c.order[j-1], c.order[j]
+		}
+	}
+	c.pos = growInt32(c.pos, c.gN)
+	for i, u := range c.order {
+		c.pos[u] = int32(i)
+	}
+
+	L := c.nLabels
+	c.suffixHist = growInt32(c.suffixHist, (c.gN+1)*L)
+	for l := 0; l < L; l++ {
+		c.suffixHist[c.gN*L+l] = 0
+	}
+	for i := c.gN - 1; i >= 0; i-- {
+		row, prev := c.suffixHist[i*L:(i+1)*L], c.suffixHist[(i+1)*L:(i+2)*L]
+		copy(row, prev)
+		row[c.gLab[c.order[i]]]++
+	}
+	c.suffixEdges = growInt32(c.suffixEdges, c.gN+1)
+	c.suffixEdges[c.gN] = 0
+	for i := c.gN - 1; i >= 0; i-- {
+		c.suffixEdges[i] = c.suffixEdges[i+1]
+		u := int(c.order[i])
+		for _, v := range g.Neighbors(u) {
+			if c.pos[v] > int32(i) {
+				c.suffixEdges[i]++
+			}
+		}
+	}
+
+	c.hHist = growInt32(c.hHist, L)
+	for l := range c.hHist {
+		c.hHist[l] = 0
+	}
+	for x := 0; x < c.hN; x++ {
+		c.hHist[c.hLab[x]]++
+	}
+	c.usedHist = growInt32(c.usedHist, L)
+	for l := range c.usedHist {
+		c.usedHist[l] = 0
+	}
+}
+
+// run executes the beam search of width w over the prepared pair.
+func (c *beamCtx) run(g, h *graph.Graph, w int) float64 {
+	c.reset(g, h)
+
+	// Initial state in arena slot A0.
+	c.phiA = growInt32(c.phiA, c.gN)
+	c.usedA = growUint64(c.usedA, c.hWords)
+	s0 := beamState{remEdges: c.hM, phi: c.phiA[:c.gN], used: c.usedA[:c.hWords]}
+	for i := range s0.phi {
+		s0.phi[i] = notProcessed
+	}
+	for i := range s0.used {
+		s0.used[i] = 0
+	}
+	if c.gN == 0 {
+		// Terminal immediately: insert all of h.
+		return float64(c.hN) + float64(c.hM)
+	}
+	s0.f = c.heuristicOf(0, &beamCand{remEdges: c.hM})
+	c.frontier = append(c.frontier[:0], s0)
+
+	for depth := 0; depth < c.gN; depth++ {
+		u := int(c.order[depth])
+		c.cands = c.cands[:0]
+		for pi := range c.frontier {
+			s := &c.frontier[pi]
+			c.fillUsedHist(s)
+			for x := 0; x < c.hN; x++ {
 				if !isUsed(s.used, x) {
-					next = append(next, c.child(s, u, x))
+					c.addCand(depth, int32(pi), s, u, int32(x))
 				}
 			}
-			next = append(next, c.child(s, u, unmapped))
+			c.addCand(depth, int32(pi), s, u, unmapped)
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i].f < next[j].f })
-		if len(next) > w {
-			next = next[:w]
-		}
-		frontier = next
+		c.keepBest(w, u)
+		c.frontier, c.next = c.next, c.frontier
+		c.phiA, c.phiB = c.phiB, c.phiA
+		c.usedA, c.usedB = c.usedB, c.usedA
 	}
-	best := frontier[0].cost
-	for _, s := range frontier[1:] {
-		if s.cost < best {
-			best = s.cost
+
+	best := c.frontier[0].cost
+	for i := 1; i < len(c.frontier); i++ {
+		if c.frontier[i].cost < best {
+			best = c.frontier[i].cost
 		}
 	}
 	return best
+}
+
+// fillUsedHist recomputes the used-h-label histogram of parent s into the
+// scratch buffer.
+func (c *beamCtx) fillUsedHist(s *beamState) {
+	for l := 0; l < c.nLabels; l++ {
+		c.usedHist[l] = 0
+	}
+	for u := 0; u < c.gN; u++ {
+		if x := s.phi[u]; x >= 0 {
+			c.usedHist[c.hLab[x]]++
+		}
+	}
+}
+
+// addCand appends the child of s that maps g node u to h node w (or
+// deletes u when w == unmapped), computing its cost and f without
+// materializing the child's mapping.
+func (c *beamCtx) addCand(depth int, pi int32, s *beamState, u int, w int32) {
+	cost := 0.0
+	var usedNbr, unusedNbr int32
+	if w == unmapped {
+		cost = 1 // node deletion
+		for _, j := range c.g.Neighbors(u) {
+			if s.phi[j] != notProcessed {
+				cost++ // incident edge to a processed node is deleted
+			}
+		}
+	} else {
+		if c.gLab[u] != c.hLab[w] {
+			cost++ // relabel
+		}
+		matched := int32(0)
+		for _, j := range c.g.Neighbors(u) {
+			switch pj := s.phi[j]; {
+			case pj == notProcessed:
+				// decided later
+			case pj == unmapped:
+				cost++ // g edge to a deleted node: deletion
+			case c.h.HasEdge(int(w), int(pj)):
+				matched++
+			default:
+				cost++ // g edge with no h counterpart: deletion
+			}
+		}
+		for _, x := range c.h.Neighbors(int(w)) {
+			if isUsed(s.used, x) {
+				usedNbr++
+			} else {
+				unusedNbr++
+			}
+		}
+		// h edges from w to already-used nodes that are not matched by a g
+		// edge must be inserted.
+		cost += float64(usedNbr - matched)
+	}
+
+	nc := beamCand{
+		cost: s.cost + cost, parent: pi, w: w,
+		usedN: s.usedN, bothUsed: s.bothUsed, remEdges: s.remEdges,
+	}
+	if w >= 0 {
+		nc.usedN++
+		nc.bothUsed += usedNbr
+		nc.remEdges -= unusedNbr
+	}
+	if depth+1 == c.gN {
+		// Terminal: fold in the forced insertions so that f is exact.
+		nc.cost += float64(int32(c.hN)-nc.usedN) + float64(c.hM-nc.bothUsed)
+		nc.f = nc.cost
+	} else if w >= 0 {
+		// The child's used-label histogram is the parent's plus w's label.
+		c.usedHist[c.hLab[w]]++
+		nc.f = nc.cost + c.heuristicOf(depth+1, &nc)
+		c.usedHist[c.hLab[w]]--
+	} else {
+		nc.f = nc.cost + c.heuristicOf(depth+1, &nc)
+	}
+	c.cands = append(c.cands, nc)
+}
+
+// heuristicOf is the admissible lower bound on the remaining edit cost of
+// a candidate at the given depth: the label-multiset bound between
+// unprocessed g nodes and unused h nodes plus the gap between the
+// remaining-remaining edge counts on both sides. c.usedHist must hold the
+// candidate's used-label histogram.
+func (c *beamCtx) heuristicOf(depth int, nc *beamCand) float64 {
+	common := int32(0)
+	row := c.suffixHist[depth*c.nLabels : (depth+1)*c.nLabels]
+	for l, sfx := range row {
+		if rem := c.hHist[l] - c.usedHist[l]; rem < sfx {
+			common += rem
+		} else {
+			common += sfx
+		}
+	}
+	remG := int32(c.gN - depth)
+	remH := int32(c.hN) - nc.usedN
+	small, big := remG, remH
+	if remH < remG {
+		small, big = remH, remG
+	}
+	if common > small {
+		common = small
+	}
+	lb := float64(big-small) + float64(small-common)
+
+	eg, eh := c.suffixEdges[depth], nc.remEdges
+	if eg > eh {
+		lb += float64(eg - eh)
+	} else {
+		lb += float64(eh - eg)
+	}
+	return lb
+}
+
+// keepBest selects the top-w candidates under (f ascending, creation index
+// ascending) — the deterministic refinement of the old full-sort-and-
+// truncate — and materializes them, in that order, into the B arenas as
+// the next frontier.
+func (c *beamCtx) keepBest(w, u int) {
+	// Max-heap of at most w candidate indices, worst on top: push each
+	// candidate and evict the worst beyond capacity. O(C log w).
+	c.heap = c.heap[:0]
+	for i := range c.cands {
+		c.heap = append(c.heap, int32(i))
+		c.siftUp(len(c.heap) - 1)
+		if len(c.heap) > w {
+			c.popWorst()
+		}
+	}
+	// Drain the heap back-to-front: popping the worst repeatedly yields
+	// ascending (f, index) order.
+	n := len(c.heap)
+	sorted := c.heap
+	for i := n - 1; i > 0; i-- {
+		sorted[0], sorted[i] = sorted[i], sorted[0]
+		c.heap = sorted[:i]
+		c.siftDown(0)
+	}
+	c.heap = sorted
+
+	c.phiB = growInt32(c.phiB, n*c.gN)
+	c.usedB = growUint64(c.usedB, n*c.hWords)
+	c.next = c.next[:0]
+	for si, ci := range sorted {
+		nc := &c.cands[ci]
+		parent := &c.frontier[nc.parent]
+		phi := c.phiB[si*c.gN : (si+1)*c.gN]
+		copy(phi, parent.phi)
+		used := c.usedB[si*c.hWords : (si+1)*c.hWords]
+		copy(used, parent.used)
+		phi[u] = nc.w
+		if nc.w >= 0 {
+			used[nc.w/64] |= 1 << (nc.w % 64)
+		}
+		c.next = append(c.next, beamState{
+			cost: nc.cost, f: nc.f,
+			usedN: nc.usedN, bothUsed: nc.bothUsed, remEdges: nc.remEdges,
+			phi: phi, used: used,
+		})
+	}
+}
+
+// worse reports whether candidate a ranks strictly after candidate b under
+// (f ascending, creation index ascending).
+func (c *beamCtx) worse(a, b int32) bool {
+	if cmp := order.Cmp(c.cands[a].f, c.cands[b].f); cmp != 0 {
+		return cmp > 0
+	}
+	return a > b
+}
+
+func (c *beamCtx) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !c.worse(c.heap[i], c.heap[p]) {
+			return
+		}
+		c.heap[i], c.heap[p] = c.heap[p], c.heap[i]
+		i = p
+	}
+}
+
+func (c *beamCtx) siftDown(i int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && c.worse(c.heap[l], c.heap[worst]) {
+			worst = l
+		}
+		if r < n && c.worse(c.heap[r], c.heap[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		c.heap[i], c.heap[worst] = c.heap[worst], c.heap[i]
+		i = worst
+	}
+}
+
+// popWorst removes the heap root (the worst kept candidate).
+func (c *beamCtx) popWorst() {
+	n := len(c.heap) - 1
+	c.heap[0] = c.heap[n]
+	c.heap = c.heap[:n]
+	c.siftDown(0)
+}
+
+// growInt32 returns s resized to n, reusing its backing array when the
+// capacity suffices (contents are unspecified).
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growUint64 is growInt32 for []uint64.
+func growUint64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
 }

@@ -120,7 +120,7 @@ func fixtureImporter(t *testing.T, fset *token.FileSet) types.Importer {
 	fixtureExports.once.Do(func() {
 		cmd := exec.Command("go", "list", "-deps", "-export", "-f",
 			"{{if .Export}}{{.ImportPath}} {{.Export}}{{end}}",
-			"fmt", "math/rand", matPkgPath)
+			"fmt", "math/rand", "sort", matPkgPath)
 		out, err := cmd.Output()
 		if err != nil {
 			fixtureExports.err = fmt.Errorf("go list -export: %v", err)

@@ -21,44 +21,94 @@ var FloatEqFuncs = map[string]bool{
 	"withinTol":   true,
 }
 
-// FloatCmp flags == and != between floating-point expressions. Lemma 1
-// and Theorem 1 (routing exactness) reduce to comparisons between
-// accumulated GED values; bitwise equality on computed float64s is
-// order-of-evaluation dependent and silently breaks those guarantees.
+// FloatCmp flags == and != between floating-point expressions, and
+// sort.Slice calls whose comparator is a bare float < / > with no
+// tie-break. Lemma 1 and Theorem 1 (routing exactness) reduce to
+// comparisons between accumulated GED values; bitwise equality on
+// computed float64s is order-of-evaluation dependent, and an unstable
+// sort keyed only on such floats leaves the order of tied elements to the
+// sorting algorithm — both silently break those guarantees.
 //
-// Comparisons are exempt when either operand is a compile-time constant
-// (sentinel checks such as `d == 0` compare against exact values, not
-// accumulated ones) and inside the FloatEqFuncs epsilon helpers.
+// Equality comparisons are exempt when either operand is a compile-time
+// constant (sentinel checks such as `d == 0` compare against exact
+// values, not accumulated ones) and inside the FloatEqFuncs epsilon
+// helpers. Sort comparators are exempt when they break ties (any body
+// beyond a single bare float comparison) or when the sort is stable
+// (sort.SliceStable's output is deterministic for any comparator).
 var FloatCmp = &Analyzer{
 	Name: "floatcmp",
-	Doc:  "flags ==/!= between computed floating-point expressions (distance tie-breaks must be deliberate)",
+	Doc:  "flags ==/!= between computed floating-point expressions and tie-blind float comparators in sort.Slice (distance tie-breaks must be deliberate)",
 	Run:  runFloatCmp,
 }
 
 func runFloatCmp(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			be, ok := n.(*ast.BinaryExpr)
-			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-				return true
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatEq(pass, n)
+			case *ast.CallExpr:
+				checkFloatSort(pass, n)
 			}
-			x, y := pass.Info.Types[be.X], pass.Info.Types[be.Y]
-			if !isFloat(x.Type) || !isFloat(y.Type) {
-				return true
-			}
-			// Constants (literals and named) are exact values; comparing a
-			// computed float against one is a sentinel check, not a
-			// tie-break between two accumulated results.
-			if x.Value != nil || y.Value != nil {
-				return true
-			}
-			if FloatEqFuncs[enclosingFuncName(pass.Files, be.Pos())] {
-				return true
-			}
-			pass.Reportf(be.OpPos, "floating-point %s between computed values; use an epsilon helper or justify with //lint:allow floatcmp", be.Op)
 			return true
 		})
 	}
+}
+
+func checkFloatEq(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	x, y := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+	if !isFloat(x.Type) || !isFloat(y.Type) {
+		return
+	}
+	// Constants (literals and named) are exact values; comparing a
+	// computed float against one is a sentinel check, not a
+	// tie-break between two accumulated results.
+	if x.Value != nil || y.Value != nil {
+		return
+	}
+	if FloatEqFuncs[enclosingFuncName(pass.Files, be.Pos())] {
+		return
+	}
+	pass.Reportf(be.OpPos, "floating-point %s between computed values; use an epsilon helper or justify with //lint:allow floatcmp", be.Op)
+}
+
+// checkFloatSort flags sort.Slice(x, func(i, j int) bool { return a < b })
+// where a and b are computed floats: the sort is unstable, so tied
+// elements land in algorithm-dependent order. The fix is a deterministic
+// tie-break (internal/order's ByDistThenID / Cmp chains) or
+// sort.SliceStable.
+func checkFloatSort(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Slice" {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || !usesPackage(pass.Info, pkg, "sort") {
+		return
+	}
+	if len(call.Args) != 2 {
+		return
+	}
+	fn, ok := call.Args[1].(*ast.FuncLit)
+	if !ok || fn.Body == nil || len(fn.Body.List) != 1 {
+		return
+	}
+	ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return
+	}
+	be, ok := ret.Results[0].(*ast.BinaryExpr)
+	if !ok || (be.Op != token.LSS && be.Op != token.GTR) {
+		return
+	}
+	x, y := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+	if !isFloat(x.Type) || !isFloat(y.Type) || x.Value != nil || y.Value != nil {
+		return
+	}
+	pass.Reportf(be.OpPos, "sort.Slice comparator orders by a float alone; ties land in algorithm-dependent order — add a tie-break (internal/order) or use sort.SliceStable")
 }
 
 func isFloat(t types.Type) bool {

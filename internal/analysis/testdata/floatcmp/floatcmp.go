@@ -1,7 +1,10 @@
 // Package fixture exercises the floatcmp analyzer: == / != between
-// computed floats must be flagged, while constant sentinels, epsilon
-// helpers and //lint:allow suppressions must not.
+// computed floats and tie-blind float comparators in sort.Slice must be
+// flagged, while constant sentinels, epsilon helpers, stable sorts,
+// tie-breaking comparators and //lint:allow suppressions must not.
 package fixture
+
+import "sort"
 
 func distances() (float64, float64) { return 1.0, 2.0 }
 
@@ -54,4 +57,42 @@ func suppressedAbove() bool {
 func suppressedTrailing() bool {
 	a, b := distances()
 	return a == b //lint:allow floatcmp fixture trailing-comment style
+}
+
+func sortFloatOnlyFlagged(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "ties land in algorithm-dependent order"
+}
+
+type scored struct {
+	id    int
+	score float64
+}
+
+func sortDescendingFlagged(s []scored) {
+	sort.Slice(s, func(i, j int) bool { return s[i].score > s[j].score }) // want "ties land in algorithm-dependent order"
+}
+
+func sortStableAllowed(xs []float64) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func sortWithTieBreakAllowed(s []scored) {
+	// A multi-statement comparator breaks ties itself; not flagged.
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].score < s[j].score {
+			return true
+		}
+		if s[i].score > s[j].score {
+			return false
+		}
+		return s[i].id < s[j].id
+	})
+}
+
+func sortIntsIgnored(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func sortSuppressed(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) //lint:allow floatcmp fixture: duplicate-free input
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/lansearch/lan/ged"
@@ -64,6 +65,15 @@ type Options struct {
 	// precompute fan-out (default runtime.NumCPU() inside pg/cg). The
 	// built index and embeddings are identical across worker counts.
 	Workers int
+
+	// QueryWorkers bounds the per-query pool that evaluates routing-stage
+	// GED calls concurrently: the HNSW-descent prefetch, the baseline
+	// beam's neighbor expansion and np_route's batch openings. 0 or 1 is
+	// sequential (the default — servers running many queries concurrently
+	// should keep it). Results, NDC and routing trajectories are
+	// bit-identical across every setting: distances are pure functions
+	// prefetched in parallel but merged in fixed candidate order.
+	QueryWorkers int
 
 	Seed int64
 }
@@ -186,17 +196,26 @@ type Engine struct {
 	GammaStar float64
 }
 
-// timedMetric accumulates wall time spent in Distance.
+// timedMetric accumulates wall time spent in Distance. The counter is
+// atomic because a query-worker pool calls Distance from several
+// goroutines at once (pg.DistCache.Prefetch); Prefetch's merge barrier
+// ensures every worker's contribution lands before the search reads the
+// total.
 type timedMetric struct {
 	m       ged.Metric
-	elapsed time.Duration
+	elapsed atomic.Int64 // nanoseconds
 }
 
 func (t *timedMetric) Distance(a, b *graph.Graph) float64 {
 	start := time.Now()
 	d := t.m.Distance(a, b)
-	t.elapsed += time.Since(start)
+	t.elapsed.Add(int64(time.Since(start)))
 	return d
+}
+
+// total returns the accumulated Distance wall time.
+func (t *timedMetric) total() time.Duration {
+	return time.Duration(t.elapsed.Load())
 }
 
 // Build constructs the index, trains all three models on trainQueries and
@@ -293,6 +312,18 @@ func (e *Engine) Search(q *graph.Graph, so SearchOptions) ([]pg.Result, QuerySta
 // accumulated so far (Total is still stamped, so the caller can meter
 // abandoned work).
 func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOptions) ([]pg.Result, QueryStats, error) {
+	// The pool is strictly per query — created here, drained before
+	// returning — so an engine holds no goroutines between queries.
+	pool := pg.NewWorkerPool(e.Opts.QueryWorkers)
+	defer pool.Close()
+	return e.SearchPooled(ctx, q, so, pool)
+}
+
+// SearchPooled is SearchContext evaluating routing-stage distances through
+// the given worker pool (nil = sequential). Callers that run many searches
+// in one request — the sharded fan-out — share one bounded pool this way
+// instead of multiplying per-shard pools.
+func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOptions, pool *pg.WorkerPool) ([]pg.Result, QueryStats, error) {
 	start := time.Now()
 	if so.K <= 0 {
 		so.K = 1
@@ -331,19 +362,19 @@ func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOpt
 			Exhaustive: so.Initial == LANISBasic,
 			QueryCG:    qcg,
 		}
-		before := tm.elapsed
+		before := tm.total()
 		entry = sel.Select(e.DB, q, cache)
-		distInModels = tm.elapsed - before
+		distInModels = tm.total() - before
 	case HNSWIS:
-		entry = e.Index.EntryPoint(cache)
-		distInModels = tm.elapsed
+		entry = e.Index.EntryPointPooled(cache, pool)
+		distInModels = tm.total()
 	case RandIS:
 		entry = pseudoRandomEntry(q, len(e.DB))
 	}
 	stats.ModelTime += time.Since(modelStart) - distInModels
 	if err := ctx.Err(); err != nil {
 		stats.NDC = cache.NDC()
-		stats.DistTime = tm.elapsed
+		stats.DistTime = tm.total()
 		stats.Total = time.Since(start)
 		return nil, stats, err
 	}
@@ -356,7 +387,7 @@ func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOpt
 	switch so.Routing {
 	case BaselineRoute:
 		var s pg.Stats
-		res, s, err = pg.BeamSearchContext(ctx, e.Index.PG, cache, entry, so.K, so.Beam)
+		res, s, err = pg.BeamSearchPooled(ctx, e.Index.PG, cache, entry, so.K, so.Beam, pool)
 		stats.NDC, stats.Explored = s.NDC, s.Explored
 	case OracleRoute:
 		oracle := &route.OracleRanker{
@@ -366,7 +397,7 @@ func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOpt
 			RankMetric: e.Opts.BuildMetric,
 		}
 		var s route.Stats
-		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, oracle, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
+		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, oracle, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize, Pool: pool})
 		stats.NDC, stats.Explored, stats.RankerCalls = s.NDC, s.Explored, s.RankerCalls
 	default: // LANRoute
 		inner := e.Mrk.Ranker(e.DB, q, qcg, &stats.RankerCalls)
@@ -377,10 +408,10 @@ func (e *Engine) SearchContext(ctx context.Context, q *graph.Graph, so SearchOpt
 			return b
 		})
 		var s route.Stats
-		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, ranker, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize})
+		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, ranker, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize, Pool: pool})
 		stats.NDC, stats.Explored = s.NDC, s.Explored
 	}
-	stats.DistTime = tm.elapsed
+	stats.DistTime = tm.total()
 	stats.Total = time.Since(start)
 	if err != nil {
 		return nil, stats, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"runtime"
@@ -47,10 +48,33 @@ type BuildPoint struct {
 	Identical bool `json:"identical"`
 }
 
+// QueryPoint is one dataset's query-path speedup measurement: the same
+// test workload answered twice — distances evaluated sequentially, then
+// through the per-query worker pool — with a bit-identity check over
+// every query's results, NDC and exploration count.
+type QueryPoint struct {
+	Dataset         string  `json:"dataset"`
+	Graphs          int     `json:"graphs"`
+	Queries         int     `json:"queries"`
+	Beam            int     `json:"beam"`
+	QueryWorkers    int     `json:"query_workers"`
+	SequentialP50us float64 `json:"sequential_p50_us"`
+	SequentialP99us float64 `json:"sequential_p99_us"`
+	SequentialQPS   float64 `json:"sequential_qps"`
+	ParallelP50us   float64 `json:"parallel_p50_us"`
+	ParallelP99us   float64 `json:"parallel_p99_us"`
+	ParallelQPS     float64 `json:"parallel_qps"`
+	Speedup         float64 `json:"speedup"`
+	// Identical reports whether the parallel run reproduced the
+	// sequential run exactly: per-query answer lists, NDC and explored
+	// node counts.
+	Identical bool `json:"identical"`
+}
+
 // BenchReport is the full JSON document: the protocol knobs that shaped
-// the run plus one point per (dataset, beam) and one build-speedup point
-// per dataset. GeneratedAt is stamped by the caller (lan-bench) at write
-// time.
+// the run plus one point per (dataset, beam), one build-speedup point and
+// one query-speedup point per dataset. GeneratedAt is stamped by the
+// caller (lan-bench) at write time.
 type BenchReport struct {
 	GeneratedAt string       `json:"generated_at,omitempty"`
 	Scale       float64      `json:"scale"`
@@ -61,6 +85,7 @@ type BenchReport struct {
 	Seed        int64        `json:"seed"`
 	Points      []BenchPoint `json:"points"`
 	Builds      []BuildPoint `json:"builds"`
+	QueryPoints []QueryPoint `json:"query_points"`
 }
 
 // Bench measures the default LAN configuration (LAN_IS + LAN_Route) per
@@ -80,6 +105,11 @@ func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
 			rep.Points = append(rep.Points, benchPoint(env, beam))
 		}
 		rep.Builds = append(rep.Builds, buildPoint(env))
+		if len(p.Beams) > 0 {
+			// The widest beam is where routing evaluates the most
+			// distances per step, i.e. where the pool has work to share.
+			rep.QueryPoints = append(rep.QueryPoints, queryPoint(env, p.Beams[len(p.Beams)-1]))
+		}
 	}
 	return rep, nil
 }
@@ -88,6 +118,14 @@ func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
 func (p Protocol) workers() int {
 	if p.Workers > 0 {
 		return p.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// queryWorkers resolves the protocol's effective query-path worker count.
+func (p Protocol) queryWorkers() int {
+	if p.QueryWorkers > 0 {
+		return p.QueryWorkers
 	}
 	return runtime.NumCPU()
 }
@@ -126,6 +164,68 @@ func buildPoint(env *Env) BuildPoint {
 		reflect.DeepEqual(seq.Level, par.Level) &&
 		seq.Entry == par.Entry
 	return bp
+}
+
+// queryPoint answers the dataset's test workload twice — routing-stage
+// distances evaluated sequentially, then through a shared worker pool —
+// and reports both latency profiles plus a bit-identity comparison of
+// every query's answers, NDC and exploration count.
+func queryPoint(env *Env, beam int) QueryPoint {
+	p := env.Protocol
+	so := core.SearchOptions{K: p.K, Beam: beam, Initial: core.LANIS, Routing: core.LANRoute}
+	// Floor the parallel leg at two workers: on a single-core machine the
+	// protocol default resolves to 1, which would compare the sequential
+	// path against itself and verify nothing about the pool.
+	workers := maxInt(p.queryWorkers(), 2)
+	pool := pg.NewWorkerPool(workers)
+	defer pool.Close()
+
+	type outcome struct {
+		res      []pg.Result
+		ndc      int
+		explored int
+	}
+	run := func(pool *pg.WorkerPool) ([]outcome, []float64, float64) {
+		if len(env.Test) > 0 { // warm up one-time setup (see benchPoint)
+			env.Engine.SearchPooled(context.Background(), env.Test[0], so, pool)
+		}
+		outs := make([]outcome, len(env.Test))
+		lat := make([]float64, len(env.Test)) // microseconds
+		var total float64
+		for i, q := range env.Test {
+			start := time.Now()
+			res, stats, _ := env.Engine.SearchPooled(context.Background(), q, so, pool)
+			elapsed := time.Since(start)
+			lat[i] = float64(elapsed.Microseconds())
+			total += elapsed.Seconds()
+			outs[i] = outcome{res: res, ndc: stats.NDC, explored: stats.Explored}
+		}
+		return outs, lat, total
+	}
+
+	seqOut, seqLat, seqTotal := run(nil)
+	parOut, parLat, parTotal := run(pool)
+
+	qp := QueryPoint{
+		Dataset: env.Spec.Name, Graphs: len(env.DB), Queries: len(env.Test),
+		Beam: beam, QueryWorkers: workers,
+		SequentialP50us: percentile(seqLat, 0.5),
+		SequentialP99us: percentile(seqLat, 0.99),
+		ParallelP50us:   percentile(parLat, 0.5),
+		ParallelP99us:   percentile(parLat, 0.99),
+		Identical:       reflect.DeepEqual(seqOut, parOut),
+	}
+	n := float64(len(env.Test))
+	if seqTotal > 0 {
+		qp.SequentialQPS = n / seqTotal
+	}
+	if parTotal > 0 {
+		qp.ParallelQPS = n / parTotal
+	}
+	if parTotal > 0 && seqTotal > 0 {
+		qp.Speedup = seqTotal / parTotal
+	}
+	return qp
 }
 
 func benchPoint(env *Env, beam int) BenchPoint {

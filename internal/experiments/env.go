@@ -51,6 +51,11 @@ type Protocol struct {
 	// The built index is bit-identical for every setting, so benchmark
 	// numbers stay comparable across worker counts.
 	Workers int
+	// QueryWorkers bounds the per-query distance-evaluation pool used by
+	// the parallel query-path benchmark leg (0 means runtime.NumCPU).
+	// Search results, NDC and routing trajectories are bit-identical for
+	// every setting; only wall time changes.
+	QueryWorkers int
 	// Seed drives everything.
 	Seed int64
 	// Datasets, when non-empty, restricts Specs() to the named datasets

@@ -207,6 +207,16 @@ func (x *Index) Search(q *graph.Graph, cache *pg.DistCache, k, beam, verify int)
 // where the wall time actually goes — checks it before every distance
 // computation, so an expired deadline stops the query within one GED call.
 func (x *Index) SearchContext(ctx context.Context, q *graph.Graph, cache *pg.DistCache, k, beam, verify int) ([]pg.Result, pg.Stats, error) {
+	return x.SearchPooled(ctx, q, cache, k, beam, verify, nil)
+}
+
+// SearchPooled is SearchContext with the GED verification stage's
+// distances prefetched through pool. Every one of the verify candidates is
+// evaluated unconditionally, so the verified set, its order and the NDC
+// are identical to the sequential run for any pool (see
+// pg.DistCache.Prefetch). With a non-nil pool, cancellation is checked
+// once before the verification batch rather than per distance.
+func (x *Index) SearchPooled(ctx context.Context, q *graph.Graph, cache *pg.DistCache, k, beam, verify int, pool *pg.WorkerPool) ([]pg.Result, pg.Stats, error) {
 	if verify < k {
 		verify = k
 	}
@@ -246,6 +256,16 @@ func (x *Index) SearchContext(ctx context.Context, q *graph.Graph, cache *pg.Dis
 	// GED verification of the best vector candidates.
 	if verify > len(results) {
 		verify = len(results)
+	}
+	if pool != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, pg.Stats{NDC: cache.NDC(), Explored: len(visited)}, err
+		}
+		ids := make([]int, verify)
+		for i, c := range results[:verify] {
+			ids[i] = c.id
+		}
+		cache.Prefetch(ids, pool)
 	}
 	verified := make([]pg.Result, 0, verify)
 	for _, c := range results[:verify] {

@@ -68,7 +68,7 @@ type HNSW struct {
 	buildMetric ged.Metric
 	// pool fans distance prefetches out during construction; nil outside
 	// Build (and when Workers == 1), making every prefetch sequential.
-	pool *workerPool
+	pool *WorkerPool
 }
 
 // MaxLevel returns the highest populated layer.
@@ -97,9 +97,9 @@ func Build(db graph.Database, cfg BuildConfig) (*HNSW, error) {
 		buildMetric: ged.NewCounter(cfg.Metric), // memoizes by (ID, ID)
 	}
 	if cfg.Workers > 1 {
-		h.pool = newWorkerPool(cfg.Workers)
+		h.pool = NewWorkerPool(cfg.Workers)
 		defer func() {
-			h.pool.close()
+			h.pool.Close()
 			h.pool = nil
 		}()
 	}
@@ -218,7 +218,7 @@ func (h *HNSW) insert(i, level, efConstruction int) {
 
 	// Greedy descent through the layers above the new node's level.
 	for l := top; l > level; l-- {
-		ep = h.greedyStep(l, ep, c)
+		ep = h.greedyStep(l, ep, c, h.pool)
 	}
 
 	// Ef-search and connect on each layer from min(level, top) down to 0.
@@ -301,14 +301,15 @@ func (h *HNSW) layerNeighbors(l int) func(int) []int {
 }
 
 // greedyStep runs greedy search to the local optimum on layer l from ep.
-// Each step's neighbor distances are prefetched through the build pool.
-func (h *HNSW) greedyStep(l, ep int, c *DistCache) int {
+// Each step's neighbor distances are prefetched through pool (the build
+// pool during construction, a per-query pool at search time).
+func (h *HNSW) greedyStep(l, ep int, c *DistCache, pool *WorkerPool) int {
 	neighbors := h.layerNeighbors(l)
 	for {
 		best := ep
 		bd := c.Dist(ep)
 		ns := neighbors(ep)
-		c.Prefetch(ns, h.pool)
+		c.Prefetch(ns, pool)
 		for _, nb := range ns {
 			if d := c.Dist(nb); d < bd {
 				best, bd = nb, d
@@ -411,9 +412,17 @@ func (h *HNSW) shrink(u int, ns []int, cap int) (kept, dropped []int) {
 // descent from the top layer down to layer 1, charging its distance
 // computations to c. The returned node seeds the layer-0 routing.
 func (h *HNSW) EntryPoint(c *DistCache) int {
+	return h.EntryPointPooled(c, nil)
+}
+
+// EntryPointPooled is EntryPoint with each descent step's neighbor
+// distances prefetched through pool. The descent — and the charged NDC —
+// is identical to the sequential EntryPoint for any pool (see
+// DistCache.Prefetch).
+func (h *HNSW) EntryPointPooled(c *DistCache, pool *WorkerPool) int {
 	ep := h.Entry
 	for l := h.Level[h.Entry]; l >= 1; l-- {
-		ep = h.greedyStep(l, ep, c)
+		ep = h.greedyStep(l, ep, c, pool)
 	}
 	return ep
 }

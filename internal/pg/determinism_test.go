@@ -54,8 +54,8 @@ func TestPrefetchMatchesSequentialNDC(t *testing.T) {
 		seqCache.Dist(id)
 	}
 
-	pool := newWorkerPool(4)
-	defer pool.close()
+	pool := NewWorkerPool(4)
+	defer pool.Close()
 	parCache := NewDistCache(metric, db, db[0])
 	parCache.Dist(1) // pre-known id must be skipped by the prefetch
 	parCache.Prefetch([]int{1, 2, 3, 1, 2, 5}, pool)

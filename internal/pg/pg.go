@@ -90,7 +90,7 @@ func (c *DistCache) Dist(id int) float64 {
 // sequential evaluation: the memo contents and the NDC count come out
 // identical. The cache itself stays single-threaded — only the metric
 // calls run concurrently.
-func (c *DistCache) Prefetch(ids []int, pool *workerPool) {
+func (c *DistCache) Prefetch(ids []int, pool *WorkerPool) {
 	var pending []int
 	for _, id := range ids {
 		if _, ok := c.memo[id]; ok {

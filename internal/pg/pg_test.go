@@ -203,25 +203,29 @@ func TestDistCacheCountsOnce(t *testing.T) {
 
 func TestPoolTieBreaking(t *testing.T) {
 	p := NewPool()
+	// byPriority ranks the pool's items under the resize order (Resize
+	// itself only partitions, it no longer promises sorted items).
+	byPriority := func() []Candidate {
+		s := append([]Candidate(nil), p.items...)
+		sort.Slice(s, func(i, j int) bool { return p.less(s[i], s[j]) })
+		return s
+	}
 	p.Add(5, 1.0)
 	p.Add(3, 1.0)
 	p.Add(7, 0.5)
 	// Unexplored ties: smaller id first.
-	p.Resize(10)
-	if p.items[0].ID != 7 || p.items[1].ID != 3 || p.items[2].ID != 5 {
-		t.Fatalf("order = %v", p.items)
+	if s := byPriority(); s[0].ID != 7 || s[1].ID != 3 || s[2].ID != 5 {
+		t.Fatalf("order = %v", s)
 	}
 	// Mark 3 explored: unexplored 5 outranks it at the same distance.
 	p.MarkExplored(3)
-	p.Resize(10)
-	if p.items[1].ID != 5 || p.items[2].ID != 3 {
-		t.Fatalf("explored tie-break wrong: %v", p.items)
+	if s := byPriority(); s[1].ID != 5 || s[2].ID != 3 {
+		t.Fatalf("explored tie-break wrong: %v", s)
 	}
 	// Two explored at the same distance: more recent first.
 	p.MarkExplored(5)
-	p.Resize(10)
-	if p.items[1].ID != 5 || p.items[2].ID != 3 {
-		t.Fatalf("recency tie-break wrong: %v", p.items)
+	if s := byPriority(); s[1].ID != 5 || s[2].ID != 3 {
+		t.Fatalf("recency tie-break wrong: %v", s)
 	}
 	// Resize drops the lowest priority and removes membership.
 	p.Resize(2)

@@ -72,14 +72,56 @@ func (p *Pool) less(a, b Candidate) bool {
 	}
 }
 
-// Resize keeps the b highest-priority candidates.
+// Resize keeps the b highest-priority candidates. less is a strict total
+// order (distance ties break on exploration state and then id), so the
+// kept set is unique and a partial selection of the b best is equivalent
+// to the full sort this used to do — Resize runs after every exploration
+// step, and no reader depends on the internal item order (Best,
+// NextUnexplored and TopK impose their own).
 func (p *Pool) Resize(b int) {
-	sort.Slice(p.items, func(i, j int) bool { return p.less(p.items[i], p.items[j]) })
-	if len(p.items) > b {
-		for _, c := range p.items[b:] {
-			delete(p.inW, c.ID)
+	if len(p.items) <= b {
+		return
+	}
+	if b > 0 {
+		p.selectBest(b)
+	}
+	for _, c := range p.items[b:] {
+		delete(p.inW, c.ID)
+	}
+	p.items = p.items[:b]
+}
+
+// selectBest partitions items so positions [0, b) hold the b best under
+// less, via Hoare-partition quickselect (expected linear time, no
+// allocation).
+func (p *Pool) selectBest(b int) {
+	lo, hi := 0, len(p.items)-1
+	for lo < hi {
+		pivot := p.items[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for p.less(p.items[i], pivot) {
+				i++
+			}
+			for p.less(pivot, p.items[j]) {
+				j--
+			}
+			if i <= j {
+				p.items[i], p.items[j] = p.items[j], p.items[i]
+				i++
+				j--
+			}
 		}
-		p.items = p.items[:b]
+		// items[lo..j] <= pivot <= items[i..hi]; narrow to the side that
+		// still straddles the boundary b.
+		switch {
+		case b <= j:
+			hi = j
+		case b >= i:
+			lo = i
+		default:
+			return
+		}
 	}
 }
 
@@ -149,6 +191,16 @@ func BeamSearch(p *PG, c *DistCache, entry, k, b int) ([]Result, Stats) {
 // deadline stops the routing within one GED call. On cancellation it returns
 // ctx.Err() along with the statistics accumulated so far.
 func BeamSearchContext(ctx context.Context, p *PG, c *DistCache, entry, k, b int) ([]Result, Stats, error) {
+	return BeamSearchPooled(ctx, p, c, entry, k, b, nil)
+}
+
+// BeamSearchPooled is BeamSearchContext with each expansion's neighbor
+// distances prefetched through pool. All of an expanded node's neighbors
+// are needed before the pool resize, so there is no early exit to preserve:
+// the routing trajectory, results and NDC are identical to the sequential
+// run for any pool (see DistCache.Prefetch). With a non-nil pool,
+// cancellation is checked per expansion rather than per distance.
+func BeamSearchPooled(ctx context.Context, p *PG, c *DistCache, entry, k, b int, pool *WorkerPool) ([]Result, Stats, error) {
 	w := NewPool()
 	w.Add(entry, c.Dist(entry))
 	explored := 0
@@ -160,11 +212,19 @@ func BeamSearchContext(ctx context.Context, p *PG, c *DistCache, entry, k, b int
 		if !ok {
 			break
 		}
-		for _, nb := range p.Neighbors(cur.ID) {
-			if err := ctx.Err(); err != nil {
-				return nil, Stats{NDC: c.NDC(), Explored: explored}, err
+		ns := p.Neighbors(cur.ID)
+		if pool != nil {
+			c.Prefetch(ns, pool)
+			for _, nb := range ns {
+				w.Add(nb, c.Dist(nb))
 			}
-			w.Add(nb, c.Dist(nb))
+		} else {
+			for _, nb := range ns {
+				if err := ctx.Err(); err != nil {
+					return nil, Stats{NDC: c.NDC(), Explored: explored}, err
+				}
+				w.Add(nb, c.Dist(nb))
+			}
 		}
 		w.MarkExplored(cur.ID)
 		explored++
@@ -179,7 +239,7 @@ func BeamSearchContext(ctx context.Context, p *PG, c *DistCache, entry, k, b int
 // neighbors of each expanded node are prefetched concurrently; the merge
 // back into the cache is ordered, so the search trajectory — and hence
 // the built index — is identical to the sequential run.
-func searchLayer(c *DistCache, neighbors func(int) []int, entry int, ef int, pool *workerPool) []Candidate {
+func searchLayer(c *DistCache, neighbors func(int) []int, entry int, ef int, pool *WorkerPool) []Candidate {
 	visited := map[int]bool{entry: true}
 	entryCand := Candidate{ID: entry, Dist: c.Dist(entry)}
 	cands := []Candidate{entryCand}   // frontier, ascending

@@ -98,6 +98,13 @@ type Config struct {
 	// StepSize is d_s, the threshold increment between supersteps
 	// (default 1 — GED is integral under unit costs).
 	StepSize float64
+	// Pool, when non-nil, evaluates each opened batch's distances
+	// concurrently. Algorithm 3 computes every distance of a batch before
+	// the gamma check, so prefetching a whole batch leaves the routing
+	// trajectory, results and NDC bit-identical to the sequential run (see
+	// pg.DistCache.Prefetch). With a pool, cancellation is checked per
+	// batch rather than per distance.
+	Pool *pg.WorkerPool
 }
 
 func (c *Config) defaults() {
@@ -188,8 +195,16 @@ func (r *router) farthestOpened(s *nodeState) (float64, bool) {
 
 // openBatch computes distances for batch j of s and adds its members to W.
 // It returns true when the batch contains a member with d >= gamma (the
-// caller must stop opening) or the query is canceled.
+// caller must stop opening) or the query is canceled. Every member's
+// distance is needed regardless of where the threshold is hit, so the
+// batch is prefetched as a whole when a pool is configured.
 func (r *router) openBatch(s *nodeState, j int, gamma float64) bool {
+	if r.cfg.Pool != nil {
+		if r.canceled() {
+			return true
+		}
+		r.cache.Prefetch(s.batches[j], r.cfg.Pool)
+	}
 	hitThreshold := false
 	for _, id := range s.batches[j] {
 		if r.canceled() {

@@ -37,6 +37,7 @@ import (
 	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/internal/core"
 	"github.com/lansearch/lan/internal/models"
+	"github.com/lansearch/lan/internal/pg"
 )
 
 // Options configure Build. The zero value is usable.
@@ -86,6 +87,13 @@ type Options struct {
 	// out across this many goroutines (default runtime.NumCPU; 1 forces
 	// sequential). The built index is bit-identical for every setting.
 	Workers int
+	// QueryWorkers bounds the per-query pool that evaluates routing-stage
+	// GED calls concurrently (neighbor expansions, np_route batch
+	// openings, HNSW descent). Default 0 (sequential) — the right setting
+	// for servers that already run many queries in parallel; raise it to
+	// cut single-query latency on idle multi-core machines. Results, NDC
+	// and routing trajectories are bit-identical for every setting.
+	QueryWorkers int
 	// Seed makes builds reproducible.
 	Seed int64
 }
@@ -158,10 +166,11 @@ func Build(db graph.Database, trainQueries []*graph.Graph, o Options) (*Index, e
 		UseCG:    !o.DisableCG,
 		GammaKNN: o.GammaKNN, GammaQuantile: o.GammaQuantile,
 		Clusters: o.Clusters, TopClusters: o.TopClusters, Samples: o.Samples,
-		Train:    trainOptions(o),
-		StepSize: o.StepSize,
-		Workers:  o.Workers,
-		Seed:     o.Seed,
+		Train:        trainOptions(o),
+		StepSize:     o.StepSize,
+		Workers:      o.Workers,
+		QueryWorkers: o.QueryWorkers,
+		Seed:         o.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -180,12 +189,21 @@ func (x *Index) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats, error
 // query within one distance call and returns ctx.Err(). The returned
 // Stats meter the work done up to the cancellation point.
 func (x *Index) SearchContext(ctx context.Context, q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
+	pool := pg.NewWorkerPool(x.engine.Opts.QueryWorkers)
+	defer pool.Close()
+	return x.searchPooled(ctx, q, so, pool)
+}
+
+// searchPooled runs one search evaluating routing-stage distances through
+// the given worker pool (nil = sequential). The sharded fan-out uses it to
+// share a single bounded pool across all shard searches of one query.
+func (x *Index) searchPooled(ctx context.Context, q *graph.Graph, so SearchOptions, pool *pg.WorkerPool) ([]Result, Stats, error) {
 	if q == nil || so.K <= 0 {
 		return nil, Stats{}, fmt.Errorf("lan: need a query graph and K > 0")
 	}
-	res, stats, err := x.engine.SearchContext(ctx, q, core.SearchOptions{
+	res, stats, err := x.engine.SearchPooled(ctx, q, core.SearchOptions{
 		K: so.K, Beam: so.Beam, Initial: so.Initial, Routing: so.Routing,
-	})
+	}, pool)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -237,7 +255,7 @@ func ReadIndex(db graph.Database, r io.Reader, o Options) (*Index, error) {
 func Load(db graph.Database, r io.Reader, o Options) (*Index, error) {
 	eng, err := core.Load(db, r, core.Options{
 		BuildMetric: o.BuildMetric, QueryMetric: o.QueryMetric,
-		Workers: o.Workers,
+		Workers: o.Workers, QueryWorkers: o.QueryWorkers,
 	})
 	if err != nil {
 		return nil, err

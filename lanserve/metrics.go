@@ -26,6 +26,7 @@ type Metrics struct {
 	errors    map[int]uint64
 	cacheHits uint64
 	cacheMiss uint64
+	sfShared  uint64 // responses reused from an identical in-flight query
 	rejected  uint64 // 429: admission queue full
 	timeouts  uint64 // 504: deadline expired (queued or in flight)
 	panics    uint64 // recovered handler panics (also counted as 500s)
@@ -169,6 +170,22 @@ func (m *Metrics) Cache(hit bool) {
 	m.mu.Unlock()
 }
 
+// SingleflightShared counts one response reused from an identical
+// in-flight query (single-flight deduplication).
+func (m *Metrics) SingleflightShared() {
+	m.mu.Lock()
+	m.sfShared++
+	m.mu.Unlock()
+}
+
+// SingleflightSharedTotal returns the shared-response counter (used by
+// tests).
+func (m *Metrics) SingleflightSharedTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sfShared
+}
+
 // QueueEnter / QueueExit track the admitted-but-waiting gauge.
 func (m *Metrics) QueueEnter() { m.mu.Lock(); m.queued++; m.mu.Unlock() }
 
@@ -233,6 +250,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(cw, "# HELP lanserve_panics_total Recovered handler panics.\n# TYPE lanserve_panics_total counter\nlanserve_panics_total %d\n", m.panics)
 	fmt.Fprintf(cw, "# HELP lanserve_cache_hits_total Result-cache hits.\n# TYPE lanserve_cache_hits_total counter\nlanserve_cache_hits_total %d\n", m.cacheHits)
 	fmt.Fprintf(cw, "# HELP lanserve_cache_misses_total Result-cache misses.\n# TYPE lanserve_cache_misses_total counter\nlanserve_cache_misses_total %d\n", m.cacheMiss)
+	fmt.Fprintf(cw, "# HELP lanserve_singleflight_shared_total Responses reused from an identical in-flight query.\n# TYPE lanserve_singleflight_shared_total counter\nlanserve_singleflight_shared_total %d\n", m.sfShared)
 	fmt.Fprintf(cw, "# HELP lanserve_inflight Searches currently executing.\n# TYPE lanserve_inflight gauge\nlanserve_inflight %d\n", m.inflight)
 	fmt.Fprintf(cw, "# HELP lanserve_queued Searches admitted and waiting for a worker.\n# TYPE lanserve_queued gauge\nlanserve_queued %d\n", m.queued)
 

@@ -119,6 +119,7 @@ type Server struct {
 	cfg     Config
 	pool    *workerPool
 	cache   *resultCache
+	flights *flightGroup
 	metrics *Metrics
 	handler http.Handler
 	ready   atomic.Bool
@@ -133,6 +134,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		cache:   newResultCache(cfg.CacheSize),
+		flights: newFlightGroup(),
 		metrics: newMetrics(),
 	}
 	s.ready.Store(true)
@@ -230,6 +232,10 @@ type SearchResponse struct {
 	// Cached reports whether the response was served from the result
 	// cache; Stats then describe the original computation.
 	Cached bool `json:"cached"`
+	// Shared reports that an identical query was already in flight and
+	// this response reuses its computation (single-flight deduplication);
+	// Stats describe that shared computation.
+	Shared bool `json:"shared,omitempty"`
 }
 
 // SearchStats is the wire form of the per-query cost breakdown.
@@ -353,6 +359,46 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Single-flight deduplication: if an identical query (same cache key)
+	// is already being computed, wait for its answer instead of admitting
+	// a duplicate search. Sits between the cache miss and admission so it
+	// costs nothing on hits and spends no worker on duplicates. NoCache
+	// requests bypass it — they asked for a fresh computation.
+	var (
+		fl         *flight
+		leaderResp *SearchResponse
+	)
+	defer func() {
+		if fl != nil {
+			// Publish on every exit path (nil = failed); a leaked flight
+			// would stall followers until their deadlines.
+			s.flights.complete(key, fl, leaderResp)
+		}
+	}()
+	if s.cache != nil && !req.NoCache {
+		f, leader := s.flights.join(key)
+		if leader {
+			fl = f
+		} else {
+			select {
+			case <-f.done:
+				if f.resp != nil {
+					s.metrics.SingleflightShared()
+					s.metrics.ObserveLatency(time.Since(start).Seconds())
+					shared := *f.resp
+					shared.Shared = true
+					writeJSON(w, http.StatusOK, &shared)
+					return
+				}
+				// The leader failed; its error may have been specific to
+				// that request (deadline, disconnect), so compute our own.
+			case <-ctx.Done():
+				fail(http.StatusGatewayTimeout, "deadline expired while awaiting identical in-flight query")
+				return
+			}
+		}
+	}
+
 	// Admission control: refuse instantly when the system is full.
 	if !s.pool.tryAdmit() {
 		fail(http.StatusTooManyRequests, "admission queue full")
@@ -407,6 +453,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		s.cache.put(key, resp)
 	}
+	leaderResp = resp
 	s.metrics.ObserveQuery(stats.NDC, stats.Explored, indexSize)
 	s.metrics.ObserveLatency(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, resp)

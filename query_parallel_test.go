@@ -1,0 +1,104 @@
+package lan
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/lansearch/lan/internal/dataset"
+	"github.com/lansearch/lan/internal/pg"
+)
+
+// TestQueryParallelBitIdentical pins the tentpole guarantee of the
+// parallel query path: for every worker count, every initial strategy and
+// every routing mode, a pooled search returns exactly the sequential
+// search's answers with exactly its NDC and routing trajectory. The
+// distance pool only changes who computes each GED, never which GEDs are
+// computed (see pg.DistCache.Prefetch). CI also runs this test under
+// -race to catch pool synchronization bugs the equality check can't see.
+func TestQueryParallelBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds a full index end to end")
+	}
+	idx, _, test := buildSmallIndex(t)
+
+	type outcome struct {
+		res      []Result
+		ndc      int
+		explored int
+	}
+	runAll := func(pool *pg.WorkerPool) []outcome {
+		var outs []outcome
+		for _, is := range []InitialStrategy{LANIS, HNSWIS, RandIS} {
+			for _, rt := range []RoutingStrategy{LANRoute, BaselineRoute, OracleRoute} {
+				for _, q := range test {
+					res, stats, err := idx.searchPooled(context.Background(), q,
+						SearchOptions{K: 3, Beam: 8, Initial: is, Routing: rt}, pool)
+					if err != nil {
+						t.Fatalf("is=%v rt=%v: %v", is, rt, err)
+					}
+					outs = append(outs, outcome{res: res, ndc: stats.NDC, explored: stats.Explored})
+				}
+			}
+		}
+		return outs
+	}
+
+	want := runAll(nil) // sequential reference
+	for _, workers := range []int{1, 4, 8} {
+		pool := pg.NewWorkerPool(workers)
+		got := runAll(pool)
+		pool.Close()
+		if !reflect.DeepEqual(got, want) {
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("workers=%d case %d diverged:\nsequential %+v\nparallel   %+v",
+						workers, i, want[i], got[i])
+				}
+			}
+			t.Fatalf("workers=%d diverged from sequential", workers)
+		}
+	}
+}
+
+// TestShardedQueryWorkersBitIdentical repeats the check through the
+// sharded fan-out, whose shards share one bounded pool per query. The
+// same index is searched with different QueryWorkers settings (the knob
+// only affects the per-query pool, never the built index), so one build
+// covers all worker counts.
+func TestShardedQueryWorkersBitIdentical(t *testing.T) {
+	spec := dataset.AIDS(0.002)
+	db := spec.Generate()
+	queries := dataset.Workload(db, spec, 12, 3)
+	sharded, err := BuildSharded(db, queries, ShardedOptions{
+		ShardSize: (len(db) + 2) / 3, // force three shards
+		Options:   Options{M: 4, Dim: 6, GammaKNN: 5, Epochs: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	setQueryWorkers := func(n int) {
+		for _, shard := range sharded.shards {
+			shard.engine.Opts.QueryWorkers = n
+		}
+	}
+	for _, q := range queries[:3] {
+		setQueryWorkers(0)
+		wres, wstats, err := sharded.Search(q, SearchOptions{K: 3, Beam: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, 8} {
+			setQueryWorkers(workers)
+			gres, gstats, err := sharded.Search(q, SearchOptions{K: 3, Beam: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gres, wres) || gstats.NDC != wstats.NDC || gstats.Explored != wstats.Explored {
+				t.Fatalf("workers=%d: sharded diverged:\nsequential %v (ndc=%d expl=%d)\nparallel   %v (ndc=%d expl=%d)",
+					workers, wres, wstats.NDC, wstats.Explored, gres, gstats.NDC, gstats.Explored)
+			}
+		}
+	}
+}
