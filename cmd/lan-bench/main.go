@@ -9,9 +9,11 @@
 // Valid experiment ids: tab1, fig5..fig12, all.
 //
 // Alongside the human-readable rows, lan-bench writes a machine-readable
-// summary (recall@k, mean/median NDC, per-query latency percentiles and
-// build time per dataset/beam) to BENCH_<timestamp>.json; -json sets an
-// explicit path, -json off disables it.
+// summary (recall@k, mean/median NDC split per routing stage, prune-rate
+// and γ-step means, per-query latency percentiles, build time and a
+// process-wide routing-metrics snapshot per dataset/beam) to
+// BENCH_<timestamp>.json; -json sets an explicit path, -json off disables
+// it. -trace prints one sample routing trace per dataset to stderr.
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 		budget   = flag.Int("exact-budget", 150, "A* expansion budget of the query GED ensemble (0 = approximations only)")
 		data     = flag.String("datasets", "", "comma-separated dataset filter (aids,linux,pubchem,syn; default all)")
 		jsonPath = flag.String("json", "", `benchmark summary path ("" = BENCH_<timestamp>.json, "off" disables)`)
+		trace    = flag.Bool("trace", false, "print one sample routing trace per dataset (JSON lines) to stderr")
 	)
 	flag.Float64Var(&p.Scale, "scale", p.Scale, "dataset scale relative to Table I")
 	flag.IntVar(&p.Queries, "queries", p.Queries, "query workload size")
@@ -71,6 +74,12 @@ func main() {
 	cache := experiments.NewEnvCache()
 	if err := experiments.RunCached(os.Stdout, *exp, p, cache); err != nil {
 		log.Fatal(err)
+	}
+
+	if *trace {
+		if err := experiments.TraceSamples(p, cache, os.Stderr); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *jsonPath == "off" {

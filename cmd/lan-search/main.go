@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +28,7 @@ func main() {
 		beam    = flag.Int("beam", 0, "candidate pool size (default k)")
 		routing = flag.String("routing", "lan", "routing: lan, baseline, oracle")
 		initial = flag.String("initial", "lan", "initial node: lan, hnsw, rand")
+		trace   = flag.Bool("trace", false, "print a per-query routing trace (JSON, one line per query) to stderr")
 	)
 	flag.Parse()
 	if *dbPath == "" || *idxPath == "" || *qPath == "" {
@@ -76,9 +78,20 @@ func main() {
 	var totalNDC int
 	start := time.Now()
 	for qi, q := range queries {
-		res, stats, err := idx.Search(q, so)
+		ctx := context.Background()
+		var qt *lan.Trace
+		if *trace {
+			qt = lan.NewTrace(fmt.Sprintf("q%d", qi))
+			ctx = lan.WithTrace(ctx, qt)
+		}
+		res, stats, err := idx.SearchContext(ctx, q, so)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if qt != nil {
+			if data, jerr := qt.JSON(); jerr == nil {
+				fmt.Fprintf(os.Stderr, "%s\n", data)
+			}
 		}
 		totalNDC += stats.NDC
 		fmt.Printf("query %d (n=%d, m=%d): ", qi, q.N(), q.M())

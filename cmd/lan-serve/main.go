@@ -7,6 +7,7 @@
 //	lan-serve -db aids.txt -index aids.lan -addr :8080
 //	curl -d '{"query":{"labels":["C","O"],"edges":[[0,1]]},"k":5}' localhost:8080/search
 //	curl localhost:8080/metrics
+//	curl localhost:8080/debug/trace/last
 //
 // The database and index files come from lan-gen and lan-train. On
 // SIGINT/SIGTERM the server stops accepting work (/readyz turns 503),
@@ -47,6 +48,8 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/")
 		grace    = flag.Duration("shutdown-grace", 5*time.Second, "drain window after SIGTERM")
 		quietLog = flag.Bool("quiet", false, "suppress per-request error logging")
+		traceN   = flag.Int("trace-ring", 8, "per-query traces kept for /debug/trace/last (negative disables tracing)")
+		slowQ    = flag.Duration("slow-query", 0, "log the full trace of queries at least this slow (0 disables)")
 	)
 	flag.Parse()
 	if *dbPath == "" || *idxPath == "" {
@@ -76,6 +79,8 @@ func main() {
 		CacheSize:   *cacheSz,
 		MaxK:        *maxK,
 		EnablePprof: *pprofOn,
+		TraceRing:   *traceN,
+		SlowQuery:   *slowQ,
 	}
 	if !*quietLog {
 		cfg.Logf = log.Printf

@@ -34,13 +34,17 @@ func beamSearch(g, h *graph.Graph, w int) float64 {
 		g, h = h, g
 	}
 	c := beamCtxPool.Get().(*beamCtx)
+	beamArenaGets.Add(1)
 	d := c.run(g, h, w)
 	c.g, c.h = nil, nil // do not retain the graphs across pool reuse
 	beamCtxPool.Put(c)
 	return d
 }
 
-var beamCtxPool = sync.Pool{New: func() interface{} { return newBeamCtx() }}
+var beamCtxPool = sync.Pool{New: func() interface{} {
+	beamArenaNews.Add(1)
+	return newBeamCtx()
+}}
 
 // beamState is one surviving partial mapping of the frontier. phi and used
 // are slices into the context's per-depth arenas; the struct itself is

@@ -1,0 +1,26 @@
+package ged
+
+import "sync/atomic"
+
+// beamArenaGets counts beam-kernel invocations that drew an arena from
+// the pool; beamArenaNews counts the subset where the pool was empty and
+// a fresh arena had to be allocated. Their difference is the reuse count
+// — the quantity the zero-alloc steady-state claim rests on.
+var (
+	beamArenaGets atomic.Uint64
+	beamArenaNews atomic.Uint64
+)
+
+// BeamKernelStats reports the beam kernel's arena-pool behaviour since
+// process start: how many invocations reused a pooled arena and how many
+// had to allocate one. Safe for concurrent use; values are monotonic.
+func BeamKernelStats() (reused, allocated uint64) {
+	gets := beamArenaGets.Load()
+	news := beamArenaNews.Load()
+	if gets < news {
+		// A Get that triggered New may have bumped news before gets lands;
+		// clamp the transient.
+		gets = news
+	}
+	return gets - news, news
+}

@@ -39,7 +39,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, GlobalRand, LibPanic, MatDim}
+	return []*Analyzer{FloatCmp, GlobalRand, LibPanic, MatDim, MetricName}
 }
 
 // ByName resolves a comma-separated list of analyzer names.

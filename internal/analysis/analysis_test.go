@@ -31,6 +31,7 @@ func TestFixtures(t *testing.T) {
 		{GlobalRand, "globalrand_main"},
 		{LibPanic, "libpanic"},
 		{MatDim, "matdim"},
+		{MetricName, "metricname"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -120,7 +121,7 @@ func fixtureImporter(t *testing.T, fset *token.FileSet) types.Importer {
 	fixtureExports.once.Do(func() {
 		cmd := exec.Command("go", "list", "-deps", "-export", "-f",
 			"{{if .Export}}{{.ImportPath}} {{.Export}}{{end}}",
-			"fmt", "math/rand", "sort", matPkgPath)
+			"fmt", "math/rand", "sort", matPkgPath, obsPkgPath)
 		out, err := cmd.Output()
 		if err != nil {
 			fixtureExports.err = fmt.Errorf("go list -export: %v", err)

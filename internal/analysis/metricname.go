@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// obsPkgPath is the observability package whose registration call sites
+// MetricName checks.
+const obsPkgPath = "github.com/lansearch/lan/internal/obs"
+
+// MetricName enforces the repo's metric naming convention at every
+// obs.Registry registration site (Counter, CounterVec, CounterFunc,
+// Gauge, GaugeFunc, Histogram, Info):
+//
+//   - the name is a compile-time string constant — dynamic names defeat
+//     both this check and dashboard greppability;
+//   - it matches lan_<subsystem>_<name>_<unit> (lowercase snake case
+//     starting with "lan"; "lanserve_..." satisfies this, the subsystem
+//     is fused into the prefix);
+//   - counter families end in _total and nothing else does;
+//   - each name is registered at exactly one call site per package, so a
+//     family has a single owner (the registry's runtime idempotence is a
+//     safety net, not a license to scatter registrations).
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "enforces lan_<subsystem>_<name>_<unit> metric names and one registration site per family",
+	Run:  runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^lan[a-z0-9]*(_[a-z0-9]+)+$`)
+
+// registryCounterMethods are the obs.Registry methods that register
+// counter families; the remaining registryMethods register non-counters.
+var registryCounterMethods = map[string]bool{
+	"Counter": true, "CounterVec": true, "CounterFunc": true,
+}
+
+var registryMethods = map[string]bool{
+	"Counter": true, "CounterVec": true, "CounterFunc": true,
+	"Gauge": true, "GaugeFunc": true, "Histogram": true, "Info": true,
+}
+
+func runMetricName(pass *Pass) {
+	seen := make(map[string]token.Position)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := registryMethodName(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, isConst := stringConstant(pass, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time string constant")
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(), "metric name %q does not match lan_<subsystem>_<name>_<unit> (lowercase snake case starting with lan)", name)
+			}
+			if registryCounterMethods[method] {
+				if !strings.HasSuffix(name, "_total") {
+					pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+				}
+			} else if strings.HasSuffix(name, "_total") {
+				pass.Reportf(call.Args[0].Pos(), "%s %q must not end in _total (reserved for counters)", strings.ToLower(method), name)
+			}
+			if first, dup := seen[name]; dup {
+				pass.Reportf(call.Args[0].Pos(), "metric %q registered more than once in this package (first at %s:%d)", name, first.Filename, first.Line)
+			} else {
+				seen[name] = pass.Fset.Position(call.Args[0].Pos())
+			}
+			return true
+		})
+	}
+}
+
+// registryMethodName returns the obs.Registry registration method invoked
+// by call, or ok=false when call is not a registration.
+func registryMethodName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] {
+		return "", false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil || obj.Pkg().Path() != obsPkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// stringConstant evaluates e as a compile-time string constant.
+func stringConstant(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

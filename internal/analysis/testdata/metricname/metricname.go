@@ -1,0 +1,62 @@
+// Package fixture exercises the metricname analyzer: registration sites
+// with non-conforming names, counter/suffix mismatches, dynamic names and
+// duplicate registrations must be flagged; conforming sites and methods
+// of unrelated types that happen to share names must not.
+package fixture
+
+import "github.com/lansearch/lan/internal/obs"
+
+// wellFormed registers one family of each kind under conforming names.
+func wellFormed(r *obs.Registry) {
+	r.Counter("lan_fixture_events_total", "Events.")
+	r.CounterVec("lan_fixture_errors_total", "Errors by code.", "code")
+	r.CounterFunc("lan_fixture_pulls_total", "Pulls.", func() uint64 { return 0 })
+	r.Gauge("lan_fixture_depth", "Depth.")
+	r.GaugeFunc("lan_fixture_ratio", "Ratio.", func() float64 { return 0 })
+	r.Histogram("lan_fixture_seconds", "Latency.", obs.ExpBuckets(0.001, 10, 4))
+	r.Info("lan_fixture_build_info", "Build metadata.", nil)
+}
+
+// constName is fine: the name is still a compile-time constant.
+const fixtureQueueName = "lan_fixture_queue_waits_total"
+
+func constNameOK(r *obs.Registry) {
+	r.Counter(fixtureQueueName, "Queue waits.")
+}
+
+func badPattern(r *obs.Registry) {
+	r.Counter("lanFixtureCamel_total", "Camel case.") // want "does not match"
+	r.Gauge("queue_depth", "No lan prefix.")          // want "does not match"
+}
+
+func badSuffix(r *obs.Registry) {
+	r.Counter("lan_fixture_requests", "Counter without _total.")  // want "must end in _total"
+	r.Gauge("lan_fixture_inflight_total", "Gauge ending _total.") // want "must not end in _total"
+	r.Histogram("lan_fixture_ndc_total", "Histogram total.", nil) // want "must not end in _total"
+}
+
+func dynamicName(r *obs.Registry, name string) {
+	r.Counter(name, "Runtime-assembled name.") // want "compile-time string constant"
+}
+
+func duplicate(r *obs.Registry) {
+	r.Counter("lan_fixture_dup_total", "First site.")
+	r.Counter("lan_fixture_dup_total", "Second site.") // want "registered more than once"
+}
+
+func suppressed(r *obs.Registry) {
+	//lint:allow metricname legacy dashboard name kept for continuity
+	r.Gauge("legacy_queue_depth", "Suppressed on purpose.")
+}
+
+// decoy has methods named like registry registrations; calls through it
+// must not be flagged.
+type decoy struct{}
+
+func (decoy) Counter(name, help string) {}
+func (decoy) Gauge(name, help string)   {}
+
+func unrelatedReceiver(d decoy) {
+	d.Counter("whatever", "Not a metric registration.")
+	d.Gauge("alsoWhatever", "Not a metric registration.")
+}

@@ -11,7 +11,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 	"time"
 
 	"github.com/lansearch/lan/ged"
@@ -19,6 +18,7 @@ import (
 	"github.com/lansearch/lan/internal/cg"
 	"github.com/lansearch/lan/internal/cluster"
 	"github.com/lansearch/lan/internal/models"
+	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/pg"
 	"github.com/lansearch/lan/internal/route"
 )
@@ -149,6 +149,21 @@ const (
 	LANISBasic
 )
 
+// String returns the strategy's wire name (the one lanserve's request
+// parser and the trace/pprof labels use).
+func (s InitialStrategy) String() string {
+	switch s {
+	case HNSWIS:
+		return "hnsw"
+	case RandIS:
+		return "rand"
+	case LANISBasic:
+		return "lan_basic"
+	default:
+		return "lan"
+	}
+}
+
 // RoutingStrategy selects the layer-0 routing algorithm.
 type RoutingStrategy int
 
@@ -162,6 +177,18 @@ const (
 	OracleRoute
 )
 
+// String returns the strategy's wire name.
+func (s RoutingStrategy) String() string {
+	switch s {
+	case BaselineRoute:
+		return "baseline"
+	case OracleRoute:
+		return "oracle"
+	default:
+		return "lan"
+	}
+}
+
 // SearchOptions configure one query.
 type SearchOptions struct {
 	K       int
@@ -170,17 +197,51 @@ type SearchOptions struct {
 	Routing RoutingStrategy
 }
 
-// QueryStats breaks down one query's cost (Fig. 11's accounting).
+// QueryStats breaks down one query's cost (Fig. 11's accounting). Every
+// routing strategy fills every field the strategy can meaningfully
+// produce: NDC, the per-stage splits and wall times, Explored and the
+// distance-cache accounting are populated on all paths; RankerCalls,
+// BatchesOpened, GammaSteps and the neighbor tallies stay zero only for
+// BaselineRoute, which has no ranker (see TestSearchStatsConsistency).
 type QueryStats struct {
-	NDC           int
-	Explored      int
+	NDC int
+	// InitNDC/RouteNDC split NDC by pipeline stage: distance computations
+	// paid during initial-node selection vs. during routing.
+	InitNDC  int
+	RouteNDC int
+	Explored int
+	// RankerCalls counts neighbor-ranking invocations (one per explored
+	// node on the np_route paths), the same quantity for the learned and
+	// the oracle ranker.
 	RankerCalls   int
 	ISPredictions int
+	// BatchesOpened, GammaSteps and the neighbor tallies come from
+	// np_route: opened batches, γ-trajectory length, and neighbors ranked
+	// vs. opened (1 - Opened/Ranked is the prune rate).
+	BatchesOpened   int
+	GammaSteps      int
+	RankedNeighbors int
+	OpenedNeighbors int
+	// DistCacheHits counts distance lookups served from the per-query
+	// memo without a GED call.
+	DistCacheHits int
 	// DistTime is wall time inside GED computations; ModelTime inside
-	// GNN inference (ranking + initial selection); Total the whole query.
+	// GNN inference (ranking + initial selection); InitTime/RouteTime the
+	// two pipeline stages; Total the whole query.
 	DistTime  time.Duration
 	ModelTime time.Duration
+	InitTime  time.Duration
+	RouteTime time.Duration
 	Total     time.Duration
+}
+
+// PruneRate returns the fraction of ranked neighbors whose distance was
+// never computed (0 when nothing was ranked).
+func (s *QueryStats) PruneRate() float64 {
+	if s.RankedNeighbors == 0 {
+		return 0
+	}
+	return 1 - float64(s.OpenedNeighbors)/float64(s.RankedNeighbors)
 }
 
 // Engine is a fully built LAN system over one database.
@@ -196,28 +257,6 @@ type Engine struct {
 	GammaStar float64
 }
 
-// timedMetric accumulates wall time spent in Distance. The counter is
-// atomic because a query-worker pool calls Distance from several
-// goroutines at once (pg.DistCache.Prefetch); Prefetch's merge barrier
-// ensures every worker's contribution lands before the search reads the
-// total.
-type timedMetric struct {
-	m       ged.Metric
-	elapsed atomic.Int64 // nanoseconds
-}
-
-func (t *timedMetric) Distance(a, b *graph.Graph) float64 {
-	start := time.Now()
-	d := t.m.Distance(a, b)
-	t.elapsed.Add(int64(time.Since(start)))
-	return d
-}
-
-// total returns the accumulated Distance wall time.
-func (t *timedMetric) total() time.Duration {
-	return time.Duration(t.elapsed.Load())
-}
-
 // Build constructs the index, trains all three models on trainQueries and
 // returns a ready Engine. Training requires at least a handful of queries;
 // the heavy lifting (index construction, the distance table) is exactly
@@ -230,6 +269,7 @@ func Build(db graph.Database, trainQueries []*graph.Graph, opts Options) (*Engin
 		return nil, fmt.Errorf("core: no training queries")
 	}
 	opts.defaults(len(db))
+	buildStart := time.Now()
 
 	idx, err := pg.Build(db, pg.BuildConfig{
 		M: opts.M, EfConstruction: opts.EfConstruction,
@@ -296,6 +336,7 @@ func Build(db graph.Database, trainQueries []*graph.Graph, opts Options) (*Engin
 	if err := e.Mc.Train(table, models.BuildClusterTrainingSet(table, km, gammaStar), opts.Train); err != nil {
 		return nil, err
 	}
+	recordBuild(len(db), time.Since(buildStart))
 	return e, nil
 }
 
@@ -331,7 +372,9 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 	if so.Beam < so.K {
 		so.Beam = so.K
 	}
-	tm := &timedMetric{m: e.Opts.QueryMetric}
+	trace := obs.From(ctx)
+	trace.SetConfig(so.Initial.String(), so.Routing.String(), so.K, so.Beam)
+	tm := obs.NewTimedMetric(e.Opts.QueryMetric)
 	cache := pg.NewDistCache(tm, e.DB, q)
 	var stats QueryStats
 	if err := ctx.Err(); err != nil {
@@ -362,24 +405,28 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 			Exhaustive: so.Initial == LANISBasic,
 			QueryCG:    qcg,
 		}
-		before := tm.total()
+		before := tm.Elapsed()
 		entry = sel.Select(e.DB, q, cache)
-		distInModels = tm.total() - before
+		distInModels = tm.Elapsed() - before
 	case HNSWIS:
 		entry = e.Index.EntryPointPooled(cache, pool)
-		distInModels = tm.total()
+		distInModels = tm.Elapsed()
 	case RandIS:
 		entry = pseudoRandomEntry(q, len(e.DB))
 	}
 	stats.ModelTime += time.Since(modelStart) - distInModels
+	stats.InitNDC = cache.NDC()
+	stats.InitTime = time.Since(start)
+	trace.Stage("initial", stats.InitTime, stats.InitNDC)
 	if err := ctx.Err(); err != nil {
 		stats.NDC = cache.NDC()
-		stats.DistTime = tm.total()
+		stats.DistTime = tm.Elapsed()
 		stats.Total = time.Since(start)
 		return nil, stats, err
 	}
 
 	// Routing.
+	routeStart := time.Now()
 	var (
 		res []pg.Result
 		err error
@@ -388,7 +435,7 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 	case BaselineRoute:
 		var s pg.Stats
 		res, s, err = pg.BeamSearchPooled(ctx, e.Index.PG, cache, entry, so.K, so.Beam, pool)
-		stats.NDC, stats.Explored = s.NDC, s.Explored
+		stats.Explored = s.Explored
 	case OracleRoute:
 		oracle := &route.OracleRanker{
 			Cache: cache, BatchPercent: e.Opts.BatchPercent,
@@ -398,9 +445,12 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 		}
 		var s route.Stats
 		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, oracle, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize, Pool: pool})
-		stats.NDC, stats.Explored, stats.RankerCalls = s.NDC, s.Explored, s.RankerCalls
+		fillRouteStats(&stats, s)
 	default: // LANRoute
-		inner := e.Mrk.Ranker(e.DB, q, qcg, &stats.RankerCalls)
+		// The route layer counts ranking invocations (route.Stats.
+		// RankerCalls), the same quantity the oracle path reports, so the
+		// model ranker no longer keeps its own per-neighbor tally.
+		inner := e.Mrk.Ranker(e.DB, q, qcg, nil)
 		ranker := route.RankerFunc(func(node int, neighbors []int, d float64) [][]int {
 			rs := time.Now()
 			b := inner.Batches(node, neighbors, d)
@@ -409,14 +459,31 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 		})
 		var s route.Stats
 		res, s, err = route.RouteContext(ctx, e.Index.PG, cache, ranker, entry, route.Config{K: so.K, Beam: so.Beam, StepSize: e.Opts.StepSize, Pool: pool})
-		stats.NDC, stats.Explored = s.NDC, s.Explored
+		fillRouteStats(&stats, s)
 	}
-	stats.DistTime = tm.total()
+	stats.NDC = cache.NDC()
+	stats.RouteNDC = stats.NDC - stats.InitNDC
+	stats.RouteTime = time.Since(routeStart)
+	stats.DistCacheHits = cache.Hits()
+	trace.Stage("routing", stats.RouteTime, stats.RouteNDC)
+	stats.DistTime = tm.Elapsed()
 	stats.Total = time.Since(start)
+	trace.Finalize(stats.NDC, len(res), stats.Total)
 	if err != nil {
 		return nil, stats, err
 	}
+	recordQuery(&stats)
 	return res, stats, nil
+}
+
+// fillRouteStats copies np_route's effort counters into the query stats.
+func fillRouteStats(stats *QueryStats, s route.Stats) {
+	stats.Explored = s.Explored
+	stats.RankerCalls = s.RankerCalls
+	stats.BatchesOpened = s.BatchesOpened
+	stats.GammaSteps = s.GammaSteps
+	stats.RankedNeighbors = s.Ranked
+	stats.OpenedNeighbors = s.Opened
 }
 
 // pseudoRandomEntry derives a deterministic pseudo-random entry node from

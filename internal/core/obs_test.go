@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/dataset"
+	"github.com/lansearch/lan/internal/models"
+	"github.com/lansearch/lan/internal/obs"
+	"github.com/lansearch/lan/internal/pg"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// TestSearchStatsConsistency pins that every routing strategy populates
+// QueryStats the same way: the per-stage NDC split always sums to the
+// total, ranker accounting follows the strategy (np_route paths rank,
+// the baseline does not), and the neighbor tallies stay ordered. This is
+// the regression test for the historical inconsistency where only some
+// strategies filled the routing fields.
+func TestSearchStatsConsistency(t *testing.T) {
+	eng, _, _, test := buildEngine(t)
+	q := test[0]
+	for _, is := range []InitialStrategy{HNSWIS, LANIS} {
+		for _, rt := range []RoutingStrategy{LANRoute, BaselineRoute, OracleRoute} {
+			_, stats := eng.Search(q, SearchOptions{K: 5, Beam: 12, Initial: is, Routing: rt})
+			name := is.String() + "/" + rt.String()
+
+			if stats.NDC <= 0 || stats.Total <= 0 {
+				t.Fatalf("%s: empty cost: %+v", name, stats)
+			}
+			if stats.InitNDC <= 0 {
+				t.Errorf("%s: InitNDC = %d; initial selection always computes distances", name, stats.InitNDC)
+			}
+			if stats.InitNDC+stats.RouteNDC != stats.NDC {
+				t.Errorf("%s: stage split %d+%d != NDC %d", name, stats.InitNDC, stats.RouteNDC, stats.NDC)
+			}
+			if stats.Explored <= 0 {
+				t.Errorf("%s: Explored = %d", name, stats.Explored)
+			}
+			if stats.InitTime <= 0 || stats.RouteTime <= 0 {
+				t.Errorf("%s: stage times %v/%v not recorded", name, stats.InitTime, stats.RouteTime)
+			}
+			if stats.OpenedNeighbors > stats.RankedNeighbors {
+				t.Errorf("%s: opened %d > ranked %d", name, stats.OpenedNeighbors, stats.RankedNeighbors)
+			}
+			if pr := stats.PruneRate(); pr < 0 || pr > 1 {
+				t.Errorf("%s: prune rate %v outside [0,1]", name, pr)
+			}
+
+			switch rt {
+			case LANRoute, OracleRoute:
+				if stats.RankerCalls != stats.Explored {
+					t.Errorf("%s: RankerCalls %d != Explored %d (one ranking per explored node)", name, stats.RankerCalls, stats.Explored)
+				}
+				if stats.RankedNeighbors <= 0 {
+					t.Errorf("%s: np_route ranked no neighbors: %+v", name, stats)
+				}
+				if stats.BatchesOpened <= 0 {
+					t.Errorf("%s: np_route opened no batches: %+v", name, stats)
+				}
+			case BaselineRoute:
+				if stats.RankerCalls != 0 {
+					t.Errorf("%s: baseline made %d ranker calls; want 0", name, stats.RankerCalls)
+				}
+				if stats.RankedNeighbors != 0 || stats.BatchesOpened != 0 || stats.GammaSteps != 0 {
+					t.Errorf("%s: baseline filled np_route-only fields: %+v", name, stats)
+				}
+			}
+		}
+	}
+}
+
+// searchTraced runs one search with a fresh trace attached and returns
+// everything the bit-identity checks compare.
+func searchTraced(t *testing.T, eng *Engine, q *graph.Graph, so SearchOptions, pool *pg.WorkerPool) ([]pg.Result, QueryStats, *obs.Trace) {
+	t.Helper()
+	tr := obs.NewTrace("t")
+	res, stats, err := eng.SearchPooled(obs.With(context.Background(), tr), q, so, pool)
+	if err != nil {
+		t.Fatalf("traced search: %v", err)
+	}
+	return res, stats, tr
+}
+
+// TestTracingBitIdentity pins the observability contract: attaching a
+// trace must not change results, NDC or the routing trajectory, for every
+// routing strategy and worker count; and the trajectory itself must be
+// identical across worker counts.
+func TestTracingBitIdentity(t *testing.T) {
+	eng, _, _, test := buildEngine(t)
+	q := test[0]
+	pool := pg.NewWorkerPool(3)
+	defer pool.Close()
+
+	for _, rt := range []RoutingStrategy{LANRoute, BaselineRoute, OracleRoute} {
+		so := SearchOptions{K: 3, Beam: 8, Initial: HNSWIS, Routing: rt}
+		wantRes, wantStats, err := eng.SearchPooled(context.Background(), q, so, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var prevSteps []obs.TraceStep
+		var prevGammas []float64
+		for wi, p := range []*pg.WorkerPool{nil, pool} {
+			res, stats, tr := searchTraced(t, eng, q, so, p)
+			if !reflect.DeepEqual(res, wantRes) {
+				t.Errorf("rt=%s workers=%d: tracing changed results: %v vs %v", so.Routing.String(), wi, res, wantRes)
+			}
+			if stats.NDC != wantStats.NDC || stats.Explored != wantStats.Explored {
+				t.Errorf("rt=%s workers=%d: tracing changed cost: NDC %d/%d Explored %d/%d",
+					so.Routing.String(), wi, stats.NDC, wantStats.NDC, stats.Explored, wantStats.Explored)
+			}
+			if tr.NDC != stats.NDC || tr.Results != len(res) {
+				t.Errorf("rt=%s workers=%d: trace totals %d/%d disagree with stats %d/%d",
+					so.Routing.String(), wi, tr.NDC, tr.Results, stats.NDC, len(res))
+			}
+			if len(tr.Steps) == 0 {
+				t.Fatalf("rt=%s workers=%d: trace recorded no steps", so.Routing.String(), wi)
+			}
+			if wi > 0 {
+				if !reflect.DeepEqual(tr.Steps, prevSteps) {
+					t.Errorf("rt=%s: trajectory differs across worker counts:\n%v\nvs\n%v", so.Routing.String(), tr.Steps, prevSteps)
+				}
+				if !reflect.DeepEqual(tr.Gammas, prevGammas) {
+					t.Errorf("rt=%s: γ trajectory differs across worker counts: %v vs %v", so.Routing.String(), tr.Gammas, prevGammas)
+				}
+			}
+			prevSteps, prevGammas = tr.Steps, tr.Gammas
+		}
+	}
+}
+
+// TestGoldenTrace locks the full trace of one fixed-seed query against
+// testdata/golden_trace.json: step sequence, γ trajectory, per-step
+// ranked/opened tallies and the NDC ledger. Wall-time fields are zeroed
+// before comparison. Regenerate with: go test ./internal/core -run
+// TestGoldenTrace -update
+func TestGoldenTrace(t *testing.T) {
+	// A dedicated tiny engine with pinned parameters, independent of
+	// -short, so the golden file is valid in every test mode.
+	spec := dataset.AIDS(0.001)
+	db := spec.Generate()
+	queries := dataset.Workload(db, spec, 10, 3)
+	train, _, test := dataset.Split(queries)
+	eng, err := Build(db, train, Options{
+		M: 4, Dim: 6, GammaKNN: 4,
+		Train: models.TrainOptions{Epochs: 2, LR: 0.01},
+		Seed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTrace("golden")
+	ctx := obs.With(context.Background(), tr)
+	if _, _, err := eng.SearchPooled(ctx, test[0], SearchOptions{K: 3, Beam: 8, Initial: LANIS, Routing: LANRoute}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero the wall-time fields: they are the only nondeterminism in a
+	// fixed-seed trace.
+	tr.TotalUS = 0
+	for i := range tr.Stages {
+		tr.Stages[i].US = 0
+	}
+	got, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("trace diverged from golden (regenerate with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestConcurrentTracedQueriesNoBleed runs traced searches for distinct
+// queries concurrently over one shared worker pool and checks every trace
+// against a solo rerun of its query: identical step sequence, identical γ
+// trajectory, totals matching that query's own stats. Run under -race
+// this also proves the recording path is data-race free.
+func TestConcurrentTracedQueriesNoBleed(t *testing.T) {
+	eng, _, _, test := buildEngine(t)
+	pool := pg.NewWorkerPool(4)
+	defer pool.Close()
+	so := SearchOptions{K: 3, Beam: 8, Initial: HNSWIS, Routing: LANRoute}
+
+	type run struct {
+		stats QueryStats
+		trace *obs.Trace
+	}
+	runs := make([]run, len(test))
+	var wg sync.WaitGroup
+	for i := range test {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := obs.NewTrace("q")
+			_, stats, err := eng.SearchPooled(obs.With(context.Background(), tr), test[i], so, pool)
+			if err == nil {
+				runs[i] = run{stats: stats, trace: tr}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range test {
+		tr := runs[i].trace
+		if tr == nil {
+			t.Fatalf("query %d errored", i)
+		}
+		if tr.NDC != runs[i].stats.NDC {
+			t.Errorf("query %d: trace NDC %d != stats NDC %d", i, tr.NDC, runs[i].stats.NDC)
+		}
+		_, _, solo := searchTraced(t, eng, test[i], so, nil)
+		if !reflect.DeepEqual(tr.Steps, solo.Steps) {
+			t.Errorf("query %d: concurrent trace steps diverge from solo run (cross-query bleed?)", i)
+		}
+		if !reflect.DeepEqual(tr.Gammas, solo.Gammas) {
+			t.Errorf("query %d: γ trajectory diverges from solo run", i)
+		}
+		if tr.Entry != solo.Entry {
+			t.Errorf("query %d: entry %d != solo entry %d", i, tr.Entry, solo.Entry)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"math"
 	"reflect"
 	"runtime"
@@ -10,6 +12,7 @@ import (
 
 	"github.com/lansearch/lan/internal/core"
 	"github.com/lansearch/lan/internal/dataset"
+	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/pg"
 )
 
@@ -27,10 +30,18 @@ type BenchPoint struct {
 	RecallAtK    float64 `json:"recall_at_k"`
 	NDCMean      float64 `json:"ndc_mean"`
 	NDCMedian    float64 `json:"ndc_median"`
-	LatencyP50us float64 `json:"latency_p50_us"`
-	LatencyP90us float64 `json:"latency_p90_us"`
-	LatencyP99us float64 `json:"latency_p99_us"`
-	QPS          float64 `json:"qps"`
+	// Per-stage NDC means split the total between initial-node selection
+	// and routing; PruneRateMean is the mean of 1 - opened/ranked over
+	// queries that ranked at least one neighbor, and GammaStepsMean the
+	// mean number of np_route γ-increments.
+	NDCInitialMean float64 `json:"ndc_initial_mean"`
+	NDCRoutingMean float64 `json:"ndc_routing_mean"`
+	PruneRateMean  float64 `json:"prune_rate_mean"`
+	GammaStepsMean float64 `json:"gamma_steps_mean"`
+	LatencyP50us   float64 `json:"latency_p50_us"`
+	LatencyP90us   float64 `json:"latency_p90_us"`
+	LatencyP99us   float64 `json:"latency_p99_us"`
+	QPS            float64 `json:"qps"`
 }
 
 // BuildPoint is one dataset's index-build speedup measurement: the same
@@ -71,21 +82,58 @@ type QueryPoint struct {
 	Identical bool `json:"identical"`
 }
 
+// RoutingMetrics snapshots the process-wide observability counters
+// (internal/obs) after the benchmark ran: every search of the run —
+// figures, tables and the summary legs alike — contributes, so the
+// totals describe the whole process, not one (dataset, beam) cell.
+type RoutingMetrics struct {
+	Queries           uint64  `json:"queries"`
+	NDCInitialTotal   uint64  `json:"ndc_initial_total"`
+	NDCRoutingTotal   uint64  `json:"ndc_routing_total"`
+	NDCVerifyTotal    uint64  `json:"ndc_verify_total"`
+	BatchesOpened     uint64  `json:"batches_opened_total"`
+	RankerCalls       uint64  `json:"ranker_calls_total"`
+	PruneRateMean     float64 `json:"prune_rate_mean"`
+	GammaStepsMean    float64 `json:"gamma_steps_mean"`
+	DistCacheHitRatio float64 `json:"dist_cache_hit_ratio"`
+}
+
 // BenchReport is the full JSON document: the protocol knobs that shaped
 // the run plus one point per (dataset, beam), one build-speedup point and
 // one query-speedup point per dataset. GeneratedAt is stamped by the
 // caller (lan-bench) at write time.
 type BenchReport struct {
-	GeneratedAt string       `json:"generated_at,omitempty"`
-	Scale       float64      `json:"scale"`
-	K           int          `json:"k"`
-	Dim         int          `json:"dim"`
-	Epochs      int          `json:"epochs"`
-	Workers     int          `json:"workers"`
-	Seed        int64        `json:"seed"`
-	Points      []BenchPoint `json:"points"`
-	Builds      []BuildPoint `json:"builds"`
-	QueryPoints []QueryPoint `json:"query_points"`
+	GeneratedAt string         `json:"generated_at,omitempty"`
+	Scale       float64        `json:"scale"`
+	K           int            `json:"k"`
+	Dim         int            `json:"dim"`
+	Epochs      int            `json:"epochs"`
+	Workers     int            `json:"workers"`
+	Seed        int64          `json:"seed"`
+	Points      []BenchPoint   `json:"points"`
+	Builds      []BuildPoint   `json:"builds"`
+	QueryPoints []QueryPoint   `json:"query_points"`
+	Routing     RoutingMetrics `json:"routing_metrics"`
+}
+
+// snapshotRoutingMetrics reads the process-wide query counters.
+func snapshotRoutingMetrics() RoutingMetrics {
+	q := obs.Query()
+	m := RoutingMetrics{
+		Queries:         q.Queries.Value(),
+		NDCInitialTotal: q.NDCInitial.Value(),
+		NDCRoutingTotal: q.NDCRouting.Value(),
+		NDCVerifyTotal:  q.NDCVerify.Value(),
+		BatchesOpened:   q.BatchesOpened.Value(),
+		RankerCalls:     q.RankerCalls.Value(),
+		PruneRateMean:   q.PruningRatio.Mean(),
+		GammaStepsMean:  q.GammaSteps.Mean(),
+	}
+	hits, misses := q.DistCacheHits.Value(), q.DistCacheMisses.Value()
+	if total := hits + misses; total > 0 {
+		m.DistCacheHitRatio = float64(hits) / float64(total)
+	}
+	return m
 }
 
 // Bench measures the default LAN configuration (LAN_IS + LAN_Route) per
@@ -111,7 +159,38 @@ func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
 			rep.QueryPoints = append(rep.QueryPoints, queryPoint(env, p.Beams[len(p.Beams)-1]))
 		}
 	}
+	rep.Routing = snapshotRoutingMetrics()
 	return rep, nil
+}
+
+// TraceSamples runs one traced query per dataset (the first test query,
+// LAN_IS + LAN_Route at the widest beam) and writes each routing trace as
+// one JSON line to w — lan-bench's -trace output. Environments come from
+// the same cache the figures used, so no index is rebuilt.
+func TraceSamples(p Protocol, cache *EnvCache, w io.Writer) error {
+	for _, spec := range p.Specs() {
+		env, err := cache.Get(p, spec)
+		if err != nil {
+			return err
+		}
+		if len(env.Test) == 0 || len(p.Beams) == 0 {
+			continue
+		}
+		t := obs.NewTrace(spec.Name)
+		ctx := obs.With(context.Background(), t)
+		so := core.SearchOptions{K: p.K, Beam: p.Beams[len(p.Beams)-1], Initial: core.LANIS, Routing: core.LANRoute}
+		if _, _, err := env.Engine.SearchPooled(ctx, env.Test[0], so, nil); err != nil {
+			return err
+		}
+		data, err := t.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // workers resolves the protocol's effective parallel worker count.
@@ -242,6 +321,8 @@ func benchPoint(env *Env, beam int) BenchPoint {
 	latencies := make([]float64, len(env.Test)) // microseconds
 	ndcs := make([]float64, len(env.Test))
 	var recall, total float64
+	var initNDC, routeNDC, gammaSteps, pruneSum float64
+	var pruned int
 	for i, q := range env.Test {
 		start := time.Now()
 		res, stats := env.Engine.Search(q, core.SearchOptions{
@@ -250,25 +331,39 @@ func benchPoint(env *Env, beam int) BenchPoint {
 		elapsed := time.Since(start)
 		latencies[i] = float64(elapsed.Microseconds())
 		ndcs[i] = float64(stats.NDC)
+		initNDC += float64(stats.InitNDC)
+		routeNDC += float64(stats.RouteNDC)
+		gammaSteps += float64(stats.GammaSteps)
+		if stats.RankedNeighbors > 0 {
+			pruneSum += stats.PruneRate()
+			pruned++
+		}
 		recall += dataset.Recall(res, env.Truth[i].Results)
 		total += elapsed.Seconds()
 	}
 	n := float64(len(env.Test))
-	return BenchPoint{
-		Dataset:      env.Spec.Name,
-		Graphs:       len(env.DB),
-		Queries:      len(env.Test),
-		K:            p.K,
-		Beam:         beam,
-		BuildSeconds: env.BuildTime.Seconds(),
-		RecallAtK:    recall / n,
-		NDCMean:      mean(ndcs),
-		NDCMedian:    percentile(ndcs, 0.5),
-		LatencyP50us: percentile(latencies, 0.5),
-		LatencyP90us: percentile(latencies, 0.9),
-		LatencyP99us: percentile(latencies, 0.99),
-		QPS:          n / total,
+	bp := BenchPoint{
+		Dataset:        env.Spec.Name,
+		Graphs:         len(env.DB),
+		Queries:        len(env.Test),
+		K:              p.K,
+		Beam:           beam,
+		BuildSeconds:   env.BuildTime.Seconds(),
+		RecallAtK:      recall / n,
+		NDCMean:        mean(ndcs),
+		NDCMedian:      percentile(ndcs, 0.5),
+		NDCInitialMean: initNDC / n,
+		NDCRoutingMean: routeNDC / n,
+		GammaStepsMean: gammaSteps / n,
+		LatencyP50us:   percentile(latencies, 0.5),
+		LatencyP90us:   percentile(latencies, 0.9),
+		LatencyP99us:   percentile(latencies, 0.99),
+		QPS:            n / total,
 	}
+	if pruned > 0 {
+		bp.PruneRateMean = pruneSum / float64(pruned)
+	}
+	return bp
 }
 
 func mean(xs []float64) float64 {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"github.com/lansearch/lan/ged"
 	"github.com/lansearch/lan/graph"
@@ -22,6 +23,7 @@ import (
 	"github.com/lansearch/lan/internal/cg"
 	"github.com/lansearch/lan/internal/mat"
 	"github.com/lansearch/lan/internal/nn"
+	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/order"
 	"github.com/lansearch/lan/internal/pg"
 )
@@ -220,8 +222,11 @@ func (x *Index) SearchPooled(ctx context.Context, q *graph.Graph, cache *pg.Dist
 	if verify < k {
 		verify = k
 	}
+	trace := obs.From(ctx)
+	stageStart := time.Now()
 	qv := x.Encoder.Embed(q)
 	entry := 0
+	trace.SetEntry(entry)
 
 	// Beam search over the vector graph under L2.
 	dist := func(id int) float64 { return sqL2(qv, x.Vectors[id]) }
@@ -253,7 +258,13 @@ func (x *Index) SearchPooled(ctx context.Context, q *graph.Graph, cache *pg.Dist
 		}
 	}
 
+	// The vector stage pays no GEDs, so its stage NDC is zero by
+	// construction.
+	trace.Stage("l2_beam", time.Since(stageStart), 0)
+	stageStart = time.Now()
+
 	// GED verification of the best vector candidates.
+	ndcBefore := cache.NDC()
 	if verify > len(results) {
 		verify = len(results)
 	}
@@ -279,6 +290,11 @@ func (x *Index) SearchPooled(ctx context.Context, q *graph.Graph, cache *pg.Dist
 	})
 	if len(verified) > k {
 		verified = verified[:k]
+	}
+	verifyNDC := cache.NDC() - ndcBefore
+	trace.Stage("verify", time.Since(stageStart), verifyNDC)
+	if verifyNDC > 0 {
+		obs.Query().NDCVerify.Add(uint64(verifyNDC))
 	}
 	return verified, pg.Stats{NDC: cache.NDC(), Explored: len(visited)}, nil
 }

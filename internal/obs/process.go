@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+var processOnce sync.Once
+
+// RegisterProcess installs the process-level families on the default
+// registry: runtime gauges (goroutines, heap bytes, GC pause total,
+// uptime) and the lan_build_info constant gauge carrying the module
+// version and VCS revision from the binary's build info. Idempotent;
+// every binary that exposes /metrics calls it once at startup.
+func RegisterProcess() {
+	processOnce.Do(func() {
+		r := Default()
+		started := time.Now()
+		r.GaugeFunc("lan_process_goroutines",
+			"Number of live goroutines.",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+		r.GaugeFunc("lan_process_heap_bytes",
+			"Bytes of allocated heap objects.",
+			func() float64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return float64(ms.HeapAlloc)
+			})
+		r.CounterFunc("lan_process_gc_pause_ns_total",
+			"Cumulative stop-the-world GC pause time in nanoseconds.",
+			func() uint64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return ms.PauseTotalNs
+			})
+		r.GaugeFunc("lan_process_uptime_seconds",
+			"Seconds since the process registered its metrics.",
+			func() float64 { return time.Since(started).Seconds() })
+		r.Info("lan_build_info",
+			"Build metadata of the running binary.", buildInfoLabels())
+	})
+}
+
+// buildInfoLabels extracts version/revision labels from the embedded
+// build info; binaries built outside a module context report "unknown".
+func buildInfoLabels() [][2]string {
+	version, revision, modified := "unknown", "unknown", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	labels := [][2]string{
+		{"go_version", runtime.Version()},
+		{"version", version},
+		{"revision", revision},
+	}
+	if modified != "" {
+		labels = append(labels, [2]string{"modified", modified})
+	}
+	return labels
+}

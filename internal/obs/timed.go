@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/graph"
+)
+
+// TimedMetric wraps a ged.Metric and accumulates wall time spent in
+// Distance. The counter is atomic because a query-worker pool calls
+// Distance from several goroutines at once (pg.DistCache.Prefetch);
+// Prefetch's merge barrier ensures every worker's contribution lands
+// before the search reads the total.
+type TimedMetric struct {
+	M       ged.Metric
+	elapsed atomic.Int64 // nanoseconds
+}
+
+// NewTimedMetric wraps m.
+func NewTimedMetric(m ged.Metric) *TimedMetric { return &TimedMetric{M: m} }
+
+// Distance computes m's distance and meters its wall time.
+func (t *TimedMetric) Distance(a, b *graph.Graph) float64 {
+	start := time.Now()
+	d := t.M.Distance(a, b)
+	t.elapsed.Add(int64(time.Since(start)))
+	return d
+}
+
+// Elapsed returns the accumulated Distance wall time.
+func (t *TimedMetric) Elapsed() time.Duration {
+	return time.Duration(t.elapsed.Load())
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Trace is one query's routing trace: the entry node, every routing step
+// (current node, neighbors ranked vs. opened, the threshold in force),
+// the γ trajectory, and per-stage wall time and NDC. A Trace is attached
+// to a query via With and recovered by the routing pipeline via From;
+// every recording method is safe to call on a nil *Trace and does nothing
+// there, which is the disabled-tracing fast path (pinned at zero
+// allocations by TestTraceDisabledZeroAlloc).
+//
+// Recording methods are mutex-guarded so a sharded fan-out or a pooled
+// distance stage can share one trace without racing; a single-shard query
+// records from its own goroutine only and never contends.
+type Trace struct {
+	QueryID string `json:"query_id"`
+	Initial string `json:"initial,omitempty"`
+	Routing string `json:"routing,omitempty"`
+	K       int    `json:"k,omitempty"`
+	Beam    int    `json:"beam,omitempty"`
+	Entry   int    `json:"entry"`
+
+	// Steps are the explored nodes in exploration order.
+	Steps []TraceStep `json:"steps,omitempty"`
+	// Gammas is the γ-threshold trajectory of np_route's supersteps.
+	Gammas []float64 `json:"gammas,omitempty"`
+	// Stages are the pipeline stages in execution order.
+	Stages []TraceStage `json:"stages,omitempty"`
+	// Shards holds the per-shard sub-traces of a sharded search, in shard
+	// order.
+	Shards []*Trace `json:"shards,omitempty"`
+
+	NDC     int   `json:"ndc"`
+	Results int   `json:"results"`
+	TotalUS int64 `json:"total_us"`
+
+	mu sync.Mutex
+}
+
+// TraceStep records one exploration step: the node whose neighborhood was
+// expanded, its distance to the query, how many neighbors the ranker saw
+// vs. how many had their distance computed (opened), the threshold in
+// force (γ in np_route's superstep phase, the current node's distance in
+// the greedy phase, -1 where no threshold applies) and the cumulative NDC
+// after the step.
+type TraceStep struct {
+	Node   int     `json:"node"`
+	Dist   float64 `json:"dist"`
+	Ranked int     `json:"ranked"`
+	Opened int     `json:"opened"`
+	Gamma  float64 `json:"gamma"`
+	NDC    int     `json:"ndc"`
+}
+
+// TraceStage is one pipeline stage's cost: wall time and the NDC charged
+// within it.
+type TraceStage struct {
+	Name string `json:"name"`
+	US   int64  `json:"us"`
+	NDC  int    `json:"ndc"`
+}
+
+// NewTrace returns an empty trace for the given query id.
+func NewTrace(queryID string) *Trace { return &Trace{QueryID: queryID} }
+
+// traceKey is the context key for the attached trace. An empty struct
+// converts to an interface without allocating, so the disabled-path
+// lookup is allocation-free.
+type traceKey struct{}
+
+// With attaches t to the context. A nil trace returns ctx unchanged.
+func With(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// From returns the trace attached to ctx, or nil when tracing is
+// disabled. Stages extract the trace once at entry and nil-check it per
+// record, which is the whole per-query overhead when tracing is off.
+func From(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// SetConfig records the query's search knobs. Nil-safe.
+func (t *Trace) SetConfig(initial, routing string, k, beam int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Initial, t.Routing, t.K, t.Beam = initial, routing, k, beam
+	t.mu.Unlock()
+}
+
+// SetEntry records the routing entry node. Nil-safe.
+func (t *Trace) SetEntry(node int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Entry = node
+	t.mu.Unlock()
+}
+
+// Step records one exploration step. Nil-safe.
+func (t *Trace) Step(node int, dist float64, ranked, opened int, gamma float64, ndc int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Steps = append(t.Steps, TraceStep{Node: node, Dist: dist, Ranked: ranked, Opened: opened, Gamma: gamma, NDC: ndc})
+	t.mu.Unlock()
+}
+
+// Gamma appends one value of the γ-threshold trajectory. Nil-safe.
+func (t *Trace) Gamma(g float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Gammas = append(t.Gammas, g)
+	t.mu.Unlock()
+}
+
+// Stage records one pipeline stage's wall time and NDC share. Nil-safe.
+func (t *Trace) Stage(name string, d time.Duration, ndc int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Stages = append(t.Stages, TraceStage{Name: name, US: d.Microseconds(), NDC: ndc})
+	t.mu.Unlock()
+}
+
+// AddShard appends one shard's sub-trace. Nil-safe (on either side).
+func (t *Trace) AddShard(shard *Trace) {
+	if t == nil || shard == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Shards = append(t.Shards, shard)
+	t.mu.Unlock()
+}
+
+// Finalize stamps the query's totals. Nil-safe.
+func (t *Trace) Finalize(ndc, results int, total time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.NDC, t.Results, t.TotalUS = ndc, results, total.Microseconds()
+	t.mu.Unlock()
+}
+
+// JSON renders the trace as a single JSON document. Nil-safe ("null").
+func (t *Trace) JSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return json.Marshal(t)
+}
+
+// TraceRing is a bounded ring of the most recent traces (the store behind
+// lan-serve's /debug/trace/last). Safe for concurrent use.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+}
+
+// NewTraceRing returns a ring holding the last n traces (n <= 0 returns
+// nil, the disabled ring — Add and Last are nil-safe).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		return nil
+	}
+	return &TraceRing{buf: make([]*Trace, 0, n)}
+}
+
+// Add inserts a trace, evicting the oldest when full. Nil-safe on both
+// the ring and the trace.
+func (r *TraceRing) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.mu.Unlock()
+}
+
+// Last returns the stored traces, most recent first. Nil-safe.
+func (r *TraceRing) Last() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.buf))
+	// The newest element sits just before next (once the ring has wrapped);
+	// walk backwards from there.
+	for i := 0; i < len(r.buf); i++ {
+		j := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[j])
+	}
+	return out
+}

@@ -65,6 +65,7 @@ type DistCache struct {
 
 	memo map[int]float64
 	ndc  int
+	hits int
 }
 
 // NewDistCache returns a cache for distances between q and members of db.
@@ -75,6 +76,7 @@ func NewDistCache(metric ged.Metric, db graph.Database, q *graph.Graph) *DistCac
 // Dist returns d(Q, db[id]), computing it at most once.
 func (c *DistCache) Dist(id int) float64 {
 	if d, ok := c.memo[id]; ok {
+		c.hits++
 		return d
 	}
 	d := c.Metric.Distance(c.DB[id], c.Q)
@@ -139,8 +141,20 @@ func (c *DistCache) Known(id int) bool {
 	return ok
 }
 
+// Lookup returns the memoized distance to id without computing, counting
+// or hit-metering anything. Observability code (trace recording) reads
+// distances through it so that tracing cannot perturb NDC or the memo's
+// hit accounting.
+func (c *DistCache) Lookup(id int) (float64, bool) {
+	d, ok := c.memo[id]
+	return d, ok
+}
+
 // NDC returns the number of distance computations performed so far.
 func (c *DistCache) NDC() int { return c.ndc }
+
+// Hits returns the number of Dist calls served from the memo.
+func (c *DistCache) Hits() int { return c.hits }
 
 // Result is one k-ANN answer: a database graph id and its distance to the
 // query.

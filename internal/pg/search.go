@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/order"
 )
 
@@ -201,8 +202,10 @@ func BeamSearchContext(ctx context.Context, p *PG, c *DistCache, entry, k, b int
 // run for any pool (see DistCache.Prefetch). With a non-nil pool,
 // cancellation is checked per expansion rather than per distance.
 func BeamSearchPooled(ctx context.Context, p *PG, c *DistCache, entry, k, b int, pool *WorkerPool) ([]Result, Stats, error) {
+	trace := obs.From(ctx)
 	w := NewPool()
 	w.Add(entry, c.Dist(entry))
+	trace.SetEntry(entry)
 	explored := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -213,6 +216,7 @@ func BeamSearchPooled(ctx context.Context, p *PG, c *DistCache, entry, k, b int,
 			break
 		}
 		ns := p.Neighbors(cur.ID)
+		ndcBefore := c.NDC()
 		if pool != nil {
 			c.Prefetch(ns, pool)
 			for _, nb := range ns {
@@ -228,6 +232,9 @@ func BeamSearchPooled(ctx context.Context, p *PG, c *DistCache, entry, k, b int,
 		}
 		w.MarkExplored(cur.ID)
 		explored++
+		// Algorithm 1 opens every neighbor, so ranked == opened-candidates;
+		// -1 marks "no pruning threshold in force".
+		trace.Step(cur.ID, cur.Dist, len(ns), c.NDC()-ndcBefore, -1, c.NDC())
 		w.Resize(b)
 	}
 	return w.TopK(k), Stats{NDC: c.NDC(), Explored: explored}, nil

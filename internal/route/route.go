@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"github.com/lansearch/lan/ged"
+	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/order"
 	"github.com/lansearch/lan/internal/pg"
 )
@@ -130,6 +131,15 @@ type Stats struct {
 	RankerCalls int
 	// BatchesOpened counts opened neighbor batches across all nodes.
 	BatchesOpened int
+	// Ranked counts neighbors handed to the ranker; Opened counts
+	// neighbors whose batch was opened (distance computed). 1 -
+	// Opened/Ranked is the prune rate — the fraction of ranked neighbors
+	// np_route never paid a distance for.
+	Ranked int
+	Opened int
+	// GammaSteps is the number of stage-2 supersteps (the length of the
+	// γ-threshold trajectory).
+	GammaSteps int
 }
 
 // nodeState tracks the batch progress of one PG node during a query.
@@ -150,7 +160,8 @@ type router struct {
 	states   map[int]*nodeState
 	explored []int // exploration order
 	stats    Stats
-	err      error // first cancellation error; set once, then unwind
+	trace    *obs.Trace // nil when tracing is disabled
+	err      error      // first cancellation error; set once, then unwind
 }
 
 // canceled records and reports context cancellation. Every distance-paying
@@ -172,8 +183,10 @@ func (r *router) state(id int, dCurrent float64) *nodeState {
 	if s, ok := r.states[id]; ok {
 		return s
 	}
-	s := &nodeState{batches: r.ranker.Batches(id, r.pg.Neighbors(id), dCurrent)}
+	neighbors := r.pg.Neighbors(id)
+	s := &nodeState{batches: r.ranker.Batches(id, neighbors, dCurrent)}
 	r.stats.RankerCalls++
+	r.stats.Ranked += len(neighbors)
 	r.states[id] = s
 	return s
 }
@@ -218,6 +231,7 @@ func (r *router) openBatch(s *nodeState, j int, gamma float64) bool {
 	}
 	s.opened = j + 1
 	r.stats.BatchesOpened++
+	r.stats.Opened += len(s.batches[j])
 	return hitThreshold
 }
 
@@ -268,11 +282,26 @@ func (r *router) allQualiNeigh(id int, gamma float64) {
 }
 
 // markExplored stamps a node as explored in both the pool and the order
-// log.
-func (r *router) markExplored(id int) {
+// log, and records the step in the query trace (gamma is the pruning
+// threshold that was in force while this node's batches were opened).
+func (r *router) markExplored(id int, gamma float64) {
 	r.w.MarkExplored(id)
 	r.explored = append(r.explored, id)
 	r.stats.Explored++
+	if r.trace != nil {
+		s := r.states[id]
+		ranked, opened := 0, 0
+		for j, b := range s.batches {
+			ranked += len(b)
+			if j < s.opened {
+				opened += len(b)
+			}
+		}
+		// Lookup, not Dist: trace recording must not perturb NDC or the
+		// memo's hit accounting.
+		d, _ := r.cache.Lookup(id)
+		r.trace.Step(id, d, ranked, opened, gamma, r.cache.NDC())
+	}
 }
 
 // Route runs np_route (Algorithm 2) from the given entry node and returns
@@ -291,7 +320,9 @@ func RouteContext(ctx context.Context, p *pg.PG, cache *pg.DistCache, ranker Ran
 	r := &router{
 		ctx: ctx, pg: p, cache: cache, ranker: ranker, cfg: cfg,
 		w: pg.NewPool(), states: make(map[int]*nodeState),
+		trace: obs.From(ctx),
 	}
+	r.trace.SetEntry(entry)
 
 	// Stage 1 (Lines 1-12): greedy descent without backtracking until the
 	// first local optimum.
@@ -299,7 +330,7 @@ func RouteContext(ctx context.Context, p *pg.PG, cache *pg.DistCache, ranker Ran
 	cur, _ := r.w.Best()
 	for !r.w.Explored(cur.ID) && !r.canceled() {
 		r.rankExpl(cur.ID, cur.Dist, cur.Dist)
-		r.markExplored(cur.ID)
+		r.markExplored(cur.ID, cur.Dist)
 		r.w.Resize(cfg.Beam)
 		cur, _ = r.w.Best()
 	}
@@ -309,6 +340,8 @@ func RouteContext(ctx context.Context, p *pg.PG, cache *pg.DistCache, ranker Ran
 	flo, _ := r.w.Best()
 	gamma := flo.Dist + cfg.StepSize
 	for r.err == nil {
+		r.stats.GammaSteps++
+		r.trace.Gamma(gamma)
 		for _, id := range append([]int(nil), r.explored...) {
 			r.allQualiNeigh(id, gamma)
 		}
@@ -322,7 +355,7 @@ func RouteContext(ctx context.Context, p *pg.PG, cache *pg.DistCache, ranker Ran
 				break
 			}
 			r.rankExpl(c.ID, gamma, c.Dist)
-			r.markExplored(c.ID)
+			r.markExplored(c.ID, gamma)
 			r.w.Resize(cfg.Beam)
 		}
 		gamma += cfg.StepSize

@@ -37,6 +37,7 @@ import (
 	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/internal/core"
 	"github.com/lansearch/lan/internal/models"
+	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/pg"
 )
 
@@ -147,6 +148,25 @@ type Result struct {
 // Stats report a query's cost; NDC (the number of GED computations) is
 // the paper's primary efficiency metric.
 type Stats = core.QueryStats
+
+// Trace is a per-query routing trace: the entry node, every routing step
+// (node, neighbors ranked vs. opened, the γ threshold in force), the γ
+// trajectory and per-stage wall times. Attach one to a search with
+// WithTrace; recording is nil-safe and never changes results or NDC.
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace recorder for the given query id.
+func NewTrace(queryID string) *Trace { return obs.NewTrace(queryID) }
+
+// WithTrace returns a context that records the search's routing decisions
+// into t. Pass it to SearchContext:
+//
+//	t := lan.NewTrace("q1")
+//	res, stats, err := index.SearchContext(lan.WithTrace(ctx, t), q, so)
+//	data, _ := t.JSON()
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return obs.With(ctx, t)
+}
 
 // Index is a built LAN search structure. It is safe for concurrent
 // Search calls only if the configured metrics are (the defaults are).

@@ -1,275 +1,138 @@
 package lanserve
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sort"
 	"strconv"
-	"sync"
+
+	"github.com/lansearch/lan/internal/obs"
 )
 
-// Metrics is the server's observability registry: a fixed inventory of
-// counters, gauges and histograms rendered in the Prometheus text
-// exposition format by WriteTo. Everything is stdlib — no client library —
-// because the inventory is small and fixed: request/error/cache counters,
+// Metrics is the server's observability surface, built on the shared
+// internal/obs registry: request/error/cache counters, admission gauges,
 // a latency histogram, and the paper's per-query cost metrics (NDC,
-// routing steps, pruning rate) aggregated from core.QueryStats. NDC is the
-// paper's primary efficiency measure, so the serving layer exposes it as a
-// first-class signal rather than burying it in logs.
+// routing steps, pruning rate) aggregated from core.QueryStats. NDC is
+// the paper's primary efficiency measure, so the serving layer exposes it
+// as a first-class signal rather than burying it in logs.
 //
-// All methods are safe for concurrent use.
+// Each Server owns its own registry (so two servers in one process don't
+// share counters); /metrics additionally renders the process-wide
+// obs.Default() families. All methods are safe for concurrent use.
 type Metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	requests  uint64 // every /search request admitted to decoding
-	errors    map[int]uint64
-	cacheHits uint64
-	cacheMiss uint64
-	sfShared  uint64 // responses reused from an identical in-flight query
-	rejected  uint64 // 429: admission queue full
-	timeouts  uint64 // 504: deadline expired (queued or in flight)
-	panics    uint64 // recovered handler panics (also counted as 500s)
-	inflight  int64  // searches currently executing on a worker
-	queued    int64  // searches admitted but waiting for a worker
+	requests *obs.Counter
+	errors   *obs.CounterVec
+	rejected *obs.Counter // 429: admission queue full
+	timeouts *obs.Counter // 504: deadline expired (queued or in flight)
+	panics   *obs.Counter // recovered handler panics (also counted as 500s)
 
-	latency *histogram // seconds, full request wall time
-	ndc     *histogram // GED computations per (uncached) query
-	steps   *histogram // routing steps (explored PG nodes) per query
-	pruning *histogram // 1 - NDC/|DB| per query
+	cacheHits *obs.Counter
+	cacheMiss *obs.Counter
+	sfShared  *obs.Counter // responses reused from an identical in-flight query
+
+	inflight *obs.Gauge // searches currently executing on a worker
+	queued   *obs.Gauge // searches admitted but waiting for a worker
+
+	latency *obs.Histogram // seconds, full request wall time
+	ndc     *obs.Histogram // GED computations per (uncached) query
+	steps   *obs.Histogram // routing steps (explored PG nodes) per query
+	pruning *obs.Histogram // 1 - NDC/|DB| per query
 }
 
 func newMetrics() *Metrics {
+	r := obs.NewRegistry()
 	return &Metrics{
-		errors: make(map[int]uint64),
+		reg:      r,
+		requests: r.Counter("lanserve_requests_total", "Search requests received."),
+		errors:   r.CounterVec("lanserve_errors_total", "Non-200 search responses by status code.", "code"),
+		rejected: r.Counter("lanserve_rejected_total", "Requests refused with 429 (admission queue full)."),
+		timeouts: r.Counter("lanserve_timeouts_total", "Requests that exceeded their deadline (504)."),
+		panics:   r.Counter("lanserve_panics_total", "Recovered handler panics."),
+
+		cacheHits: r.Counter("lanserve_cache_hits_total", "Result-cache hits."),
+		cacheMiss: r.Counter("lanserve_cache_misses_total", "Result-cache misses."),
+		sfShared:  r.Counter("lanserve_singleflight_shared_total", "Responses reused from an identical in-flight query."),
+
+		inflight: r.Gauge("lanserve_inflight", "Searches currently executing."),
+		queued:   r.Gauge("lanserve_queued", "Searches admitted and waiting for a worker."),
+
 		// 100us..30s: spans in-memory tiny-index queries through heavy
 		// ensemble-GED queries on large shards.
-		latency: newHistogram(expBuckets(1e-4, 2.5, 14)),
-		ndc:     newHistogram(expBuckets(1, 2, 14)),
-		steps:   newHistogram(expBuckets(1, 2, 12)),
-		pruning: newHistogram(linBuckets(0.1, 0.1, 9)),
+		latency: r.Histogram("lanserve_request_seconds", "Search request wall time in seconds.", obs.ExpBuckets(1e-4, 2.5, 14)),
+		ndc:     r.Histogram("lanserve_query_ndc", "GED computations (NDC) per executed query.", obs.ExpBuckets(1, 2, 14)),
+		steps:   r.Histogram("lanserve_query_routing_steps", "Routing steps (explored PG nodes) per executed query.", obs.ExpBuckets(1, 2, 12)),
+		pruning: r.Histogram("lanserve_query_pruning_rate", "Fraction of the database whose GED was never computed, per executed query.", obs.LinBuckets(0.1, 0.1, 9)),
 	}
-}
-
-// expBuckets returns n upper bounds start, start*factor, ...
-func expBuckets(start, factor float64, n int) []float64 {
-	out := make([]float64, n)
-	v := start
-	for i := range out {
-		out[i] = v
-		v *= factor
-	}
-	return out
-}
-
-// linBuckets returns n upper bounds start, start+step, ...
-func linBuckets(start, step float64, n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = start + float64(i)*step
-	}
-	return out
-}
-
-// histogram is a Prometheus-style cumulative histogram. Guarded by the
-// owning Metrics' mutex.
-type histogram struct {
-	bounds []float64 // ascending upper bounds; +Inf is implicit
-	counts []uint64  // len(bounds)+1
-	sum    float64
-	count  uint64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	if math.IsNaN(v) {
-		return
-	}
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.count++
-}
-
-// quantile returns the value at quantile q (0..1) estimated from the
-// bucket upper bounds — the same estimate Prometheus' histogram_quantile
-// gives, good enough for tests and status pages.
-func (h *histogram) quantile(q float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(h.count)))
-	var cum uint64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= rank {
-			if i < len(h.bounds) {
-				return h.bounds[i]
-			}
-			return math.Inf(1)
-		}
-	}
-	return math.Inf(1)
-}
-
-func (h *histogram) write(w io.Writer, name, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
-	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
-}
-
-func formatBound(b float64) string {
-	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
 // Request counts one admitted /search request.
-func (m *Metrics) Request() {
-	m.mu.Lock()
-	m.requests++
-	m.mu.Unlock()
-}
+func (m *Metrics) Request() { m.requests.Inc() }
 
 // Error counts one non-200 response with its status code.
 func (m *Metrics) Error(code int) {
-	m.mu.Lock()
-	m.errors[code]++
+	m.errors.With(strconv.Itoa(code)).Inc()
 	switch code {
 	case statusTooManyRequests:
-		m.rejected++
+		m.rejected.Inc()
 	case statusGatewayTimeout:
-		m.timeouts++
+		m.timeouts.Inc()
 	}
-	m.mu.Unlock()
 }
 
 // Panic counts one recovered handler panic.
-func (m *Metrics) Panic() {
-	m.mu.Lock()
-	m.panics++
-	m.mu.Unlock()
-}
+func (m *Metrics) Panic() { m.panics.Inc() }
 
 // Cache counts one result-cache lookup.
 func (m *Metrics) Cache(hit bool) {
-	m.mu.Lock()
 	if hit {
-		m.cacheHits++
+		m.cacheHits.Inc()
 	} else {
-		m.cacheMiss++
+		m.cacheMiss.Inc()
 	}
-	m.mu.Unlock()
 }
 
 // SingleflightShared counts one response reused from an identical
 // in-flight query (single-flight deduplication).
-func (m *Metrics) SingleflightShared() {
-	m.mu.Lock()
-	m.sfShared++
-	m.mu.Unlock()
-}
+func (m *Metrics) SingleflightShared() { m.sfShared.Inc() }
 
 // SingleflightSharedTotal returns the shared-response counter (used by
 // tests).
-func (m *Metrics) SingleflightSharedTotal() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sfShared
-}
+func (m *Metrics) SingleflightSharedTotal() uint64 { return m.sfShared.Value() }
 
 // QueueEnter / QueueExit track the admitted-but-waiting gauge.
-func (m *Metrics) QueueEnter() { m.mu.Lock(); m.queued++; m.mu.Unlock() }
+func (m *Metrics) QueueEnter() { m.queued.Inc() }
 
 // QueueExit decrements the waiting gauge.
-func (m *Metrics) QueueExit() { m.mu.Lock(); m.queued--; m.mu.Unlock() }
+func (m *Metrics) QueueExit() { m.queued.Dec() }
 
 // WorkStart / WorkEnd track the in-flight gauge.
-func (m *Metrics) WorkStart() { m.mu.Lock(); m.inflight++; m.mu.Unlock() }
+func (m *Metrics) WorkStart() { m.inflight.Inc() }
 
 // WorkEnd decrements the in-flight gauge.
-func (m *Metrics) WorkEnd() { m.mu.Lock(); m.inflight--; m.mu.Unlock() }
+func (m *Metrics) WorkEnd() { m.inflight.Dec() }
 
 // ObserveLatency records one completed request's wall time in seconds.
-func (m *Metrics) ObserveLatency(seconds float64) {
-	m.mu.Lock()
-	m.latency.observe(seconds)
-	m.mu.Unlock()
-}
+func (m *Metrics) ObserveLatency(seconds float64) { m.latency.Observe(seconds) }
 
 // ObserveQuery records the per-query cost telemetry of one executed
 // (uncached) search: NDC, routing steps, and the pruning rate
 // 1 - NDC/indexSize (the fraction of the database whose GED was never
 // computed — the quantity LAN's learned routing exists to maximize).
 func (m *Metrics) ObserveQuery(ndc, explored, indexSize int) {
-	m.mu.Lock()
-	m.ndc.observe(float64(ndc))
-	m.steps.observe(float64(explored))
+	m.ndc.Observe(float64(ndc))
+	m.steps.Observe(float64(explored))
 	if indexSize > 0 {
-		m.pruning.observe(1 - float64(ndc)/float64(indexSize))
+		m.pruning.Observe(1 - float64(ndc)/float64(indexSize))
 	}
-	m.mu.Unlock()
 }
 
 // CacheHits returns the cache-hit counter (used by tests and /readyz-style
 // introspection).
-func (m *Metrics) CacheHits() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cacheHits
-}
+func (m *Metrics) CacheHits() uint64 { return m.cacheHits.Value() }
 
-// WriteTo renders the registry in the Prometheus text exposition format.
+// WriteTo renders the server's registry in the Prometheus text exposition
+// format (the process-wide families are appended by the /metrics handler,
+// not here, so library users composing their own exposition keep control).
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cw := &countingWriter{w: w}
-
-	fmt.Fprintf(cw, "# HELP lanserve_requests_total Search requests received.\n# TYPE lanserve_requests_total counter\nlanserve_requests_total %d\n", m.requests)
-
-	fmt.Fprintf(cw, "# HELP lanserve_errors_total Non-200 search responses by status code.\n# TYPE lanserve_errors_total counter\n")
-	codes := make([]int, 0, len(m.errors))
-	for c := range m.errors {
-		codes = append(codes, c)
-	}
-	sort.Ints(codes)
-	for _, c := range codes {
-		fmt.Fprintf(cw, "lanserve_errors_total{code=\"%d\"} %d\n", c, m.errors[c])
-	}
-
-	fmt.Fprintf(cw, "# HELP lanserve_rejected_total Requests refused with 429 (admission queue full).\n# TYPE lanserve_rejected_total counter\nlanserve_rejected_total %d\n", m.rejected)
-	fmt.Fprintf(cw, "# HELP lanserve_timeouts_total Requests that exceeded their deadline (504).\n# TYPE lanserve_timeouts_total counter\nlanserve_timeouts_total %d\n", m.timeouts)
-	fmt.Fprintf(cw, "# HELP lanserve_panics_total Recovered handler panics.\n# TYPE lanserve_panics_total counter\nlanserve_panics_total %d\n", m.panics)
-	fmt.Fprintf(cw, "# HELP lanserve_cache_hits_total Result-cache hits.\n# TYPE lanserve_cache_hits_total counter\nlanserve_cache_hits_total %d\n", m.cacheHits)
-	fmt.Fprintf(cw, "# HELP lanserve_cache_misses_total Result-cache misses.\n# TYPE lanserve_cache_misses_total counter\nlanserve_cache_misses_total %d\n", m.cacheMiss)
-	fmt.Fprintf(cw, "# HELP lanserve_singleflight_shared_total Responses reused from an identical in-flight query.\n# TYPE lanserve_singleflight_shared_total counter\nlanserve_singleflight_shared_total %d\n", m.sfShared)
-	fmt.Fprintf(cw, "# HELP lanserve_inflight Searches currently executing.\n# TYPE lanserve_inflight gauge\nlanserve_inflight %d\n", m.inflight)
-	fmt.Fprintf(cw, "# HELP lanserve_queued Searches admitted and waiting for a worker.\n# TYPE lanserve_queued gauge\nlanserve_queued %d\n", m.queued)
-
-	m.latency.write(cw, "lanserve_request_seconds", "Search request wall time in seconds.")
-	m.ndc.write(cw, "lanserve_query_ndc", "GED computations (NDC) per executed query.")
-	m.steps.write(cw, "lanserve_query_routing_steps", "Routing steps (explored PG nodes) per executed query.")
-	m.pruning.write(cw, "lanserve_query_pruning_rate", "Fraction of the database whose GED was never computed, per executed query.")
-
-	return cw.n, nil
-}
-
-// countingWriter tracks bytes written for WriteTo's contract.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	return m.reg.WriteTo(w)
 }

@@ -12,6 +12,7 @@
 //	GET  /metrics  — Prometheus text exposition
 //	GET  /healthz  — process liveness (always 200)
 //	GET  /readyz   — readiness; 503 while draining
+//	GET  /debug/trace/last — the most recent per-query routing traces
 //	     /debug/pprof/* — opt-in (Config.EnablePprof)
 //
 // The server is an http.Handler; cmd/lan-serve wires it to an http.Server
@@ -26,11 +27,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	runtimepprof "runtime/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"github.com/lansearch/lan"
 	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/obs"
 )
 
 // HTTP status aliases shared with metrics.go.
@@ -75,6 +79,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// TraceRing is the capacity of the /debug/trace/last ring of recent
+	// per-query routing traces (default 8; negative disables tracing and
+	// the endpoint answers 404).
+	TraceRing int
+	// SlowQuery, when positive, logs the full routing trace of every
+	// executed search whose total time reaches the threshold (via Logf).
+	SlowQuery time.Duration
 	// Logf, when set, receives one line per failed request and recovered
 	// panic (e.g. log.Printf). Nil means silent.
 	Logf func(format string, args ...interface{})
@@ -111,6 +122,9 @@ func (c *Config) defaults() error {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 8
+	}
 	return nil
 }
 
@@ -121,6 +135,8 @@ type Server struct {
 	cache   *resultCache
 	flights *flightGroup
 	metrics *Metrics
+	ring    *obs.TraceRing
+	queryID atomic.Uint64
 	handler http.Handler
 	ready   atomic.Bool
 }
@@ -130,18 +146,21 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
+	obs.RegisterProcess()
 	s := &Server{
 		cfg:     cfg,
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		cache:   newResultCache(cfg.CacheSize),
 		flights: newFlightGroup(),
 		metrics: newMetrics(),
+		ring:    obs.NewTraceRing(cfg.TraceRing),
 	}
 	s.ready.Store(true)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace/last", s.handleTraceLast)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -248,6 +267,17 @@ type SearchStats struct {
 	DistMicros    int64   `json:"dist_us"`
 	ModelMicros   int64   `json:"model_us"`
 	TotalMicros   int64   `json:"total_us"`
+
+	// Per-stage breakdown (added with internal/obs; zero-value omitted
+	// fields keep old clients decoding unchanged).
+	InitNDC       int     `json:"ndc_initial,omitempty"`
+	RouteNDC      int     `json:"ndc_routing,omitempty"`
+	BatchesOpened int     `json:"batches_opened,omitempty"`
+	GammaSteps    int     `json:"gamma_steps,omitempty"`
+	NeighborPrune float64 `json:"neighbor_prune_rate,omitempty"`
+	DistCacheHits int     `json:"dist_cache_hits,omitempty"`
+	InitMicros    int64   `json:"init_us,omitempty"`
+	RouteMicros   int64   `json:"route_us,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-200 /search outcome.
@@ -414,12 +444,39 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Per-query trace, recorded into the /debug/trace/last ring and the
+	// slow-query log. Tracing never changes results or NDC (the recorder
+	// only observes), so cached and traced responses stay identical.
+	qid := "q" + strconv.FormatUint(s.queryID.Add(1), 10)
+	var qt *obs.Trace
+	if s.ring != nil || s.cfg.SlowQuery > 0 {
+		qt = obs.NewTrace(qid)
+	}
+
 	s.metrics.WorkStart()
-	res, stats, err := s.cfg.Index.SearchContext(ctx, req.Query, lan.SearchOptions{
-		K: params.K, Beam: params.Beam, Routing: params.Routing, Initial: params.Initial,
+	var (
+		res   []lan.Result
+		stats lan.Stats
+	)
+	// pprof labels attribute CPU samples of this goroutine (and the
+	// query's worker-pool goroutines inheriting the context) to the query
+	// and its strategy.
+	runtimepprof.Do(obs.With(ctx, qt), runtimepprof.Labels(
+		"query_id", qid,
+		"strategy", params.Routing.String(),
+	), func(ctx context.Context) {
+		res, stats, err = s.cfg.Index.SearchContext(ctx, req.Query, lan.SearchOptions{
+			K: params.K, Beam: params.Beam, Routing: params.Routing, Initial: params.Initial,
+		})
 	})
 	s.metrics.WorkEnd()
 	release()
+	s.ring.Add(qt)
+	if s.cfg.SlowQuery > 0 && stats.Total >= s.cfg.SlowQuery {
+		if data, jerr := qt.JSON(); jerr == nil {
+			s.logf("slow query (%v >= %v): %s", stats.Total, s.cfg.SlowQuery, data)
+		}
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -448,6 +505,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			DistMicros:    stats.DistTime.Microseconds(),
 			ModelMicros:   stats.ModelTime.Microseconds(),
 			TotalMicros:   stats.Total.Microseconds(),
+
+			InitNDC:       stats.InitNDC,
+			RouteNDC:      stats.RouteNDC,
+			BatchesOpened: stats.BatchesOpened,
+			GammaSteps:    stats.GammaSteps,
+			NeighborPrune: stats.PruneRate(),
+			DistCacheHits: stats.DistCacheHits,
+			InitMicros:    stats.InitTime.Microseconds(),
+			RouteMicros:   stats.RouteTime.Microseconds(),
 		},
 	}
 	if s.cache != nil {
@@ -463,7 +529,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if _, err := s.metrics.WriteTo(w); err != nil {
 		s.logf("metrics: %v", err)
+		return
 	}
+	// Process-wide families (lan_query_*, lan_process_*, lan_build_info)
+	// follow the server's own; names are disjoint, so concatenation is a
+	// valid exposition.
+	if _, err := obs.Default().WriteTo(w); err != nil {
+		s.logf("metrics: %v", err)
+	}
+}
+
+// handleTraceLast serves the bounded ring of the most recent per-query
+// routing traces as a JSON array, newest first. 404 when tracing is
+// disabled (Config.TraceRing < 0).
+func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		writeJSONError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	traces := s.ring.Last()
+	out := make([]json.RawMessage, 0, len(traces))
+	for _, t := range traces {
+		data, err := t.JSON()
+		if err != nil {
+			continue
+		}
+		out = append(out, data)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

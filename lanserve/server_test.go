@@ -168,21 +168,6 @@ func TestMetricsPrometheusRendering(t *testing.T) {
 	}
 }
 
-func TestHistogramQuantile(t *testing.T) {
-	h := newHistogram([]float64{1, 2, 4, 8})
-	for _, v := range []float64{0.5, 1.5, 1.7, 3, 7, 100} {
-		h.observe(v)
-	}
-	if q := h.quantile(0.5); q != 2 {
-		t.Fatalf("p50 = %v; want 2 (bucket upper bound)", q)
-	}
-	if q := h.quantile(0.99); !isInf(q) {
-		t.Fatalf("p99 = %v; want +Inf (overflow bucket)", q)
-	}
-}
-
-func isInf(v float64) bool { return v > 1e300 }
-
 func TestNewRequiresIndex(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("Config without Index accepted")

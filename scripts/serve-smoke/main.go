@@ -2,7 +2,8 @@
 // serve-smoke` and the CI "Serve smoke" step. It builds the lan-serve
 // binary, prepares a tiny database and trained index on disk, boots the
 // server on an ephemeral port, exercises /readyz, /search (twice, so the
-// second hit must come from the result cache) and /metrics, then delivers
+// second hit must come from the result cache), /metrics (server and
+// process-wide obs families alike) and /debug/trace/last, then delivers
 // SIGTERM and insists the server drains and exits within 5 seconds.
 //
 // It exits 0 on success and 1 with a diagnostic on any failure, so it
@@ -195,7 +196,9 @@ func checks(base string, q *graph.Graph) error {
 		}
 	}
 
-	// Metrics reflect the traffic above.
+	// Metrics reflect the traffic above; alongside the server's own
+	// families, the process-wide engine and runtime families registered by
+	// internal/obs must appear in the same exposition.
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return err
@@ -210,10 +213,54 @@ func checks(base string, q *graph.Graph) error {
 		"lanserve_cache_hits_total 1",
 		"lanserve_query_ndc_count 1",       // the cache hit ran no search
 		"lanserve_request_seconds_count 2", // but both requests count latency
+		"lanserve_query_pruning_rate_count 1",
+		"lan_query_searches_total 1",
+		"lan_query_ndc_initial_total",
+		"lan_query_ndc_routing_total",
+		"lan_route_gamma_steps_count",
+		"lan_distcache_hits_total",
+		"lan_ged_beam_arena_reused_total",
+		"lan_process_goroutines",
+		"lan_process_uptime_seconds",
+		"lan_build_info{",
 	} {
 		if !strings.Contains(string(data), want) {
 			return fmt.Errorf("/metrics missing %q:\n%s", want, data)
 		}
+	}
+
+	// The executed search (and only it — the cache hit never reached the
+	// engine) must be in the trace ring, finalized with results and NDC.
+	resp, err = client.Get(base + "/debug/trace/last")
+	if err != nil {
+		return err
+	}
+	data, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/trace/last: status %d: %s", resp.StatusCode, data)
+	}
+	var traces []struct {
+		QueryID string `json:"query_id"`
+		Routing string `json:"routing"`
+		NDC     int    `json:"ndc"`
+		Results int    `json:"results"`
+		Steps   []struct {
+			Node int `json:"node"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal(data, &traces); err != nil {
+		return fmt.Errorf("/debug/trace/last: bad JSON: %v\n%s", err, data)
+	}
+	if len(traces) != 1 {
+		return fmt.Errorf("/debug/trace/last: %d traces; want 1 (cache hits record none)", len(traces))
+	}
+	tr := traces[0]
+	if tr.QueryID == "" || tr.Routing != "lan" || tr.NDC <= 0 || tr.Results != 3 || len(tr.Steps) == 0 {
+		return fmt.Errorf("/debug/trace/last: incomplete trace: %s", data)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/order"
 	"github.com/lansearch/lan/internal/pg"
 )
@@ -127,6 +128,17 @@ func (s *ShardedIndex) SearchContext(ctx context.Context, q *graph.Graph, so Sea
 		stats Stats
 	}
 	outs := make([]shardOut, len(s.shards))
+	// With tracing on, each shard records into its own child trace (no
+	// cross-goroutine contention on the parent); the children are attached
+	// in shard order below, so the merged trace is deterministic.
+	parent := obs.From(ctx)
+	var children []*obs.Trace
+	if parent != nil {
+		children = make([]*obs.Trace, len(s.shards))
+		for i := range children {
+			children[i] = obs.NewTrace(fmt.Sprintf("shard-%d", i))
+		}
+	}
 	par := s.parallel
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -143,7 +155,11 @@ func (s *ShardedIndex) SearchContext(ctx context.Context, q *graph.Graph, so Sea
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, stats, err := s.shards[i].searchPooled(ctx, q, so, pool)
+			sctx := ctx
+			if children != nil {
+				sctx = obs.With(ctx, children[i])
+			}
+			res, stats, err := s.shards[i].searchPooled(sctx, q, so, pool)
 			if err != nil {
 				// Record the first failure with its shard id and abort the
 				// remaining fan-out; later cancellation errors from sibling
@@ -163,6 +179,9 @@ func (s *ShardedIndex) SearchContext(ctx context.Context, q *graph.Graph, so Sea
 	if firstErr != nil {
 		return nil, Stats{}, firstErr
 	}
+	for _, c := range children {
+		parent.AddShard(c)
+	}
 
 	var merged []Result
 	var agg Stats
@@ -171,11 +190,24 @@ func (s *ShardedIndex) SearchContext(ctx context.Context, q *graph.Graph, so Sea
 			merged = append(merged, Result{ID: r.ID + s.offsets[i], Dist: r.Dist})
 		}
 		agg.NDC += o.stats.NDC
+		agg.InitNDC += o.stats.InitNDC
+		agg.RouteNDC += o.stats.RouteNDC
 		agg.Explored += o.stats.Explored
 		agg.RankerCalls += o.stats.RankerCalls
 		agg.ISPredictions += o.stats.ISPredictions
+		agg.BatchesOpened += o.stats.BatchesOpened
+		agg.GammaSteps += o.stats.GammaSteps
+		agg.RankedNeighbors += o.stats.RankedNeighbors
+		agg.OpenedNeighbors += o.stats.OpenedNeighbors
+		agg.DistCacheHits += o.stats.DistCacheHits
 		agg.DistTime += o.stats.DistTime
 		agg.ModelTime += o.stats.ModelTime
+		if o.stats.InitTime > agg.InitTime {
+			agg.InitTime = o.stats.InitTime
+		}
+		if o.stats.RouteTime > agg.RouteTime {
+			agg.RouteTime = o.stats.RouteTime
+		}
 		if o.stats.Total > agg.Total {
 			agg.Total = o.stats.Total
 		}
@@ -186,5 +218,7 @@ func (s *ShardedIndex) SearchContext(ctx context.Context, q *graph.Graph, so Sea
 	if len(merged) > so.K {
 		merged = merged[:so.K]
 	}
+	parent.SetConfig(so.Initial.String(), so.Routing.String(), so.K, so.Beam)
+	parent.Finalize(agg.NDC, len(merged), agg.Total)
 	return merged, agg, nil
 }
