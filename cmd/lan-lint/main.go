@@ -6,12 +6,16 @@
 //
 // Usage:
 //
-//	lan-lint [-run floatcmp,globalrand,libpanic,matdim] [packages...]
+//	lan-lint [-run ctxprop,hotalloc,...] [-json] [-counts] [packages...]
 //
-// With no package arguments it analyzes ./...
+// With no package arguments it analyzes ./... — including this command
+// and the analysis package themselves, so the lint is self-hosting.
+// -json emits the findings as a JSON array on stdout (for CI annotation
+// tooling); -counts prints a per-analyzer finding tally to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +27,8 @@ import (
 func main() {
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	counts := flag.Bool("counts", false, "print a per-analyzer finding tally to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: lan-lint [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -62,8 +68,46 @@ func main() {
 	}
 
 	findings := analysis.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(relativize(cwd, f.String()))
+	if *jsonOut {
+		type jsonFinding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     relativize(cwd, f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(relativize(cwd, f.String()))
+		}
+	}
+	if *counts {
+		tally := make(map[string]int)
+		for _, f := range findings {
+			tally[f.Analyzer]++
+		}
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "%-12s %d\n", a.Name, tally[a.Name])
+		}
+		if n := tally["framework"]; n > 0 {
+			fmt.Fprintf(os.Stderr, "%-12s %d\n", "framework", n)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "lan-lint: %d finding(s)\n", len(findings))
@@ -71,8 +115,8 @@ func main() {
 	}
 }
 
-// relativize trims the working directory prefix from a finding line so
-// output is readable and stable across checkouts.
+// relativize trims the working directory prefix from a path or finding
+// line so output is readable and stable across checkouts.
 func relativize(cwd, s string) string {
 	return strings.TrimPrefix(s, cwd+string(os.PathSeparator))
 }

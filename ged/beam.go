@@ -26,6 +26,8 @@ import (
 // Ties on f are broken by state creation order — the order the old
 // sort-based kernel enumerated children in — so the kept frontier is a
 // deterministic function of the input pair, not of sort internals.
+//
+//lan:hotpath
 func beamSearch(g, h *graph.Graph, w int) float64 {
 	if w <= 0 {
 		w = 8
@@ -466,6 +468,7 @@ func (c *beamCtx) popWorst() {
 // capacity suffices (contents are unspecified).
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
+		//lint:allow hotalloc amortized arena growth; zero allocations once the pooled arena reaches working size
 		return make([]int32, n)
 	}
 	return s[:n]
@@ -474,6 +477,7 @@ func growInt32(s []int32, n int) []int32 {
 // growUint64 is growInt32 for []uint64.
 func growUint64(s []uint64, n int) []uint64 {
 	if cap(s) < n {
+		//lint:allow hotalloc amortized arena growth; zero allocations once the pooled arena reaches working size
 		return make([]uint64, n)
 	}
 	return s[:n]

@@ -10,11 +10,18 @@
 //
 // Suppressions: a finding is silenced by a comment of the form
 //
-//	//lint:allow <name> [reason...]
+//	//lint:allow <name> <reason...>
 //
 // placed either on the offending line or on the line directly above it.
-// The reason is free text; writing one is strongly encouraged because the
-// annotation is the audit trail for why the invariant does not apply.
+// The reason is mandatory free text — the annotation is the audit trail
+// for why the invariant does not apply, so a reason-less or
+// unknown-analyzer allow is itself reported as a framework finding.
+//
+// Analyzers come in two shapes: per-package ones (Run) see one
+// type-checked package at a time, and module-wide ones (RunGlobal) see
+// every loaded package plus the cross-package call graph built by
+// BuildCallGraph, which the shared-identity loader (load.go) makes
+// possible without golang.org/x/tools.
 package analysis
 
 import (
@@ -26,21 +33,34 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check. Run inspects a type-checked package via its
-// Pass and reports findings through Pass.Reportf.
+// Analyzer is one named check. Per-package analyzers set Run, which
+// inspects one type-checked package via its Pass; module-wide analyzers
+// set RunGlobal, which sees every loaded package plus the call graph. An
+// analyzer may set both (metricname: per-package naming rules plus the
+// global dead-family sweep).
 type Analyzer struct {
 	// Name is the identifier used in findings and //lint:allow comments.
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
-	// Run executes the analyzer over one package.
+	// Run executes the analyzer over one package (may be nil).
 	Run func(*Pass)
+	// RunGlobal executes the analyzer once over the whole module (may be
+	// nil).
+	RunGlobal func(*GlobalPass)
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, GlobalRand, LibPanic, MatDim, MetricName}
+	return []*Analyzer{
+		AtomicField, CtxProp, FloatCmp, GlobalRand, GoLeak,
+		HotAlloc, LibPanic, MatDim, MetricName,
+	}
 }
+
+// frameworkName is the pseudo-analyzer name attached to findings about the
+// suppression comments themselves; they are not suppressible.
+const frameworkName = "framework"
 
 // ByName resolves a comma-separated list of analyzer names.
 func ByName(names string) ([]*Analyzer, error) {
@@ -106,6 +126,18 @@ func (p *Pass) IsInternal() bool {
 // public API surface: a non-main package outside internal/.
 func (p *Pass) IsPublicLibrary() bool { return !p.IsCommand() && !p.IsInternal() }
 
+// IsCommand reports whether the package is a main package.
+func (p *Package) IsCommand() bool { return p.Types.Name() == "main" }
+
+// IsInternal reports whether the package lives under an internal/ tree.
+func (p *Package) IsInternal() bool {
+	return strings.Contains(p.Path, "/internal/") || strings.HasSuffix(p.Path, "/internal")
+}
+
+// IsPublicLibrary reports whether the package is part of the importable
+// public API surface: a non-main package outside internal/.
+func (p *Package) IsPublicLibrary() bool { return !p.IsCommand() && !p.IsInternal() }
+
 // Reportf records a finding at pos unless an applicable //lint:allow
 // comment suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -120,13 +152,51 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// GlobalPass carries the whole loaded module through one module-wide
+// analyzer.
+type GlobalPass struct {
+	Analyzer *Analyzer
+	// Pkgs are all loaded packages in dependency order.
+	Pkgs []*Package
+	// Graph is the module call graph over Pkgs.
+	Graph *CallGraph
+
+	suppress suppressionIndex
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos (resolved through pkg's file set)
+// unless an applicable //lint:allow comment suppresses it.
+func (p *GlobalPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	if p.suppress.allows(p.Analyzer.Name, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Run executes the given analyzers over the loaded packages and returns
-// all findings sorted by position.
+// all findings sorted by position. Module-wide analyzers run once against
+// a call graph built over all packages; per-package analyzers run per
+// package. Run also audits every //lint:allow comment: one that names an
+// unknown analyzer or omits the reason text is reported as a
+// non-suppressible "framework" finding.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	suppress := make(suppressionIndex)
 	for _, pkg := range pkgs {
-		idx := buildSuppressionIndex(pkg.Fset, pkg.Files)
+		buildSuppressionIndex(pkg.Fset, pkg.Files, suppress)
+		auditAllowComments(pkg, &findings)
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -134,11 +204,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Path:     pkg.Path,
-				suppress: idx,
+				suppress: suppress,
 				findings: &findings,
 			}
 			a.Run(pass)
 		}
+	}
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunGlobal == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		a.RunGlobal(&GlobalPass{
+			Analyzer: a,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			suppress: suppress,
+			findings: &findings,
+		})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -168,10 +254,11 @@ func (s suppressionIndex) allows(analyzer string, pos token.Position) bool {
 	return lines[pos.Line][analyzer]
 }
 
-const allowPrefix = "//lint:allow "
+const allowPrefix = "//lint:allow"
 
-func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
-	idx := make(suppressionIndex)
+// buildSuppressionIndex records every //lint:allow comment in files into
+// idx (filename-keyed, so one index can span packages).
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File, idx suppressionIndex) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -202,7 +289,47 @@ func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIn
 			}
 		}
 	}
-	return idx
+}
+
+// auditAllowComments enforces the suppression contract: every
+// //lint:allow must name known analyzers and carry a reason. Violations
+// are "framework" findings, deliberately outside the suppression
+// machinery — an allow comment cannot vouch for itself.
+func auditAllowComments(pkg *Package, findings *[]Finding) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		*findings = append(*findings, Finding{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: frameworkName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "bare //lint:allow: write //lint:allow <analyzer> <reason>")
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						report(c.Pos(), "//lint:allow names unknown analyzer %q", name)
+					}
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "//lint:allow %s has no reason; the reason is the audit trail for why the invariant does not apply", fields[0])
+				}
+			}
+		}
+	}
 }
 
 // enclosingFuncName returns the name of the innermost function declaration

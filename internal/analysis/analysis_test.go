@@ -26,9 +26,12 @@ func TestFixtures(t *testing.T) {
 		analyzer *Analyzer
 		fixture  string
 	}{
+		{AtomicField, "atomicfield"},
 		{FloatCmp, "floatcmp"},
 		{GlobalRand, "globalrand"},
 		{GlobalRand, "globalrand_main"},
+		{GoLeak, "goleak"},
+		{HotAlloc, "hotalloc"},
 		{LibPanic, "libpanic"},
 		{MatDim, "matdim"},
 		{MetricName, "metricname"},
@@ -121,7 +124,7 @@ func fixtureImporter(t *testing.T, fset *token.FileSet) types.Importer {
 	fixtureExports.once.Do(func() {
 		cmd := exec.Command("go", "list", "-deps", "-export", "-f",
 			"{{if .Export}}{{.ImportPath}} {{.Export}}{{end}}",
-			"fmt", "math/rand", "sort", matPkgPath, obsPkgPath)
+			"context", "fmt", "math/rand", "sort", "sync", "sync/atomic", matPkgPath, obsPkgPath)
 		out, err := cmd.Output()
 		if err != nil {
 			fixtureExports.err = fmt.Errorf("go list -export: %v", err)

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+)
+
+// AtomicField enforces the two struct-level concurrency hygiene rules
+// whose violation produced the timedMetric data race that PR 4 caught
+// dynamically with -race:
+//
+//  1. Mixed access: a struct field that is passed to a sync/atomic
+//     function (&s.f) anywhere in the module must never be read or
+//     written plainly anywhere else. Atomic and plain access to the same
+//     word is a data race even when each side looks locally correct, and
+//     because the loader gives fields one identity module-wide, the check
+//     crosses package boundaries.
+//  2. Lock copying: a type that (transitively, through value fields and
+//     arrays) contains sync or sync/atomic state must not be copied — no
+//     value receivers, no by-value parameters, no *p dereference
+//     assignments. A copied mutex guards nothing and a copied atomic
+//     splits its writers.
+//
+// The modern fix for rule 1 is usually to switch the field to
+// atomic.Int64 & friends, which makes plain access impossible to write.
+var AtomicField = &Analyzer{
+	Name:      "atomicfield",
+	Doc:       "fields accessed via sync/atomic must never be accessed plainly; lock-bearing structs must not be copied",
+	RunGlobal: runAtomicField,
+}
+
+func runAtomicField(p *GlobalPass) {
+	// Pass 1: collect fields used atomically, and mark those selector
+	// expressions as sanctioned so pass 2 does not flag the atomic call
+	// sites themselves.
+	atomicAt := make(map[*types.Var]string)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pkg.Info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				field := selectedField(pkg.Info, sel)
+				if field == nil {
+					return true
+				}
+				sanctioned[sel] = true
+				if _, seen := atomicAt[field]; !seen {
+					pos := pkg.Fset.Position(call.Pos())
+					atomicAt[field] = filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag plain accesses of those fields, module-wide.
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				sel, ok := x.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				field := selectedField(pkg.Info, sel)
+				if field == nil {
+					return true
+				}
+				if at, isAtomic := atomicAt[field]; isAtomic {
+					p.Reportf(pkg, sel.Sel.Pos(),
+						"field %s is accessed via sync/atomic (%s) and must not be read or written plainly; consider the atomic.Int64-style types",
+						field.Name(), at)
+				}
+				return true
+			})
+		}
+	}
+
+	// Copy rules for lock-bearing types.
+	memo := make(map[types.Type]bool)
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fd.Recv != nil && len(fd.Recv.List) == 1 {
+					checkByValue(p, pkg, fd.Recv.List[0].Type, memo,
+						"method "+fd.Name.Name+" has a value receiver of lock-bearing type %s; copying tears its sync state — use a pointer receiver")
+				}
+				if fd.Type.Params != nil {
+					for _, param := range fd.Type.Params.List {
+						checkByValue(p, pkg, param.Type, memo,
+							"parameter of "+fd.Name.Name+" passes lock-bearing type %s by value; pass a pointer")
+					}
+				}
+			}
+			ast.Inspect(f, func(x ast.Node) bool {
+				as, ok := x.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, rhs := range as.Rhs {
+					star, isStar := ast.Unparen(rhs).(*ast.StarExpr)
+					if !isStar {
+						continue
+					}
+					if tv, okType := pkg.Info.Types[star]; okType && tv.Type != nil && lockBearing(tv.Type, memo) {
+						p.Reportf(pkg, star.Pos(), "assignment dereferences and copies lock-bearing type %s", tv.Type.String())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkByValue reports when the (non-pointer) type expression denotes a
+// lock-bearing type.
+func checkByValue(p *GlobalPass, pkg *Package, texpr ast.Expr, memo map[types.Type]bool, format string) {
+	if _, isPtr := texpr.(*ast.StarExpr); isPtr {
+		return
+	}
+	tv, ok := pkg.Info.Types[texpr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if lockBearing(tv.Type, memo) {
+		p.Reportf(pkg, texpr.Pos(), format, tv.Type.String())
+	}
+}
+
+// selectedField resolves sel to the struct field it selects, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, _ := selection.Obj().(*types.Var)
+	return field
+}
+
+// lockBearing reports whether t contains sync or sync/atomic state by
+// value: such types must never be copied. Pointer, slice, map, chan and
+// interface fields break the chain — copying a pointer to a mutex is
+// fine.
+func lockBearing(t types.Type, memo map[types.Type]bool) bool {
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	memo[t] = false // cycle guard; real value stored below
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil {
+			if path := obj.Pkg().Path(); path == "sync" || path == "sync/atomic" {
+				result = true
+			}
+		}
+		if !result {
+			result = lockBearing(u.Underlying(), memo)
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockBearing(u.Field(i).Type(), memo) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = lockBearing(u.Elem(), memo)
+	}
+	memo[t] = result
+	return result
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// treeImporter resolves in-fixture packages (including spoofed module
+// paths) from the already-checked set before falling back to export data —
+// the test-side mirror of the loader's moduleImporter.
+type treeImporter struct {
+	base    types.Importer
+	checked map[string]*types.Package
+}
+
+func (i *treeImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := i.checked[path]; ok {
+		return pkg, nil
+	}
+	return i.base.Import(path)
+}
+
+// loadFixtureTree type-checks every subdirectory of testdata/<fixture> as
+// one package. A `//fixture:path <import path>` directive in any file sets
+// the package's import path (fixtures spoof real module paths this way to
+// hit path-pinned analyzer config, e.g. the ctxprop sink keys); without
+// one the path defaults to fixture/<fixture>/<subdir>. Packages are
+// checked in dependency order by retrying until every import resolves.
+func loadFixtureTree(t *testing.T, fixture string) []*Package {
+	t.Helper()
+	root := filepath.Join("testdata", fixture)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading fixture tree: %v", err)
+	}
+	type sub struct {
+		dir   string
+		path  string
+		names []string
+	}
+	var subs []sub
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := "fixture/" + fixture + "/" + e.Name()
+		var names []string
+		for _, f := range files {
+			if !strings.HasSuffix(f.Name(), ".go") {
+				continue
+			}
+			names = append(names, f.Name())
+			src, err := os.ReadFile(filepath.Join(dir, f.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range strings.Split(string(src), "\n") {
+				if p, ok := strings.CutPrefix(strings.TrimSpace(line), "//fixture:path "); ok {
+					path = strings.TrimSpace(p)
+				}
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		subs = append(subs, sub{dir: dir, path: path, names: names})
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].path < subs[j].path })
+
+	fset := token.NewFileSet()
+	imp := &treeImporter{base: fixtureImporter(t, fset), checked: make(map[string]*types.Package)}
+	var pkgs []*Package
+	pending := subs
+	for len(pending) > 0 {
+		var next []sub
+		var lastErr error
+		for _, s := range pending {
+			pkg, err := checkPackage(fset, imp, s.path, s.dir, s.names)
+			if err != nil {
+				lastErr = err
+				next = append(next, s)
+				continue
+			}
+			imp.checked[s.path] = pkg.Types
+			pkgs = append(pkgs, pkg)
+		}
+		if len(next) == len(pending) {
+			t.Fatalf("fixture %s: cannot resolve package order: %v", fixture, lastErr)
+		}
+		pending = next
+	}
+	return pkgs
+}
+
+// runTreeFixture is runFixture for multi-package fixtures; wants are keyed
+// by file:line because the tree spans files.
+func runTreeFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	pkgs := loadFixtureTree(t, fixture)
+	findings := Run(pkgs, []*Analyzer{a})
+
+	wants := make(map[string]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					substr := strings.Trim(strings.TrimSpace(strings.TrimPrefix(text, "want ")), `"`)
+					pos := pkg.Fset.Position(c.Pos())
+					wants[filepath.Base(pos.Filename)+":"+strconv.Itoa(pos.Line)] = substr
+				}
+			}
+		}
+	}
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		key := filepath.Base(f.Pos.Filename) + ":" + strconv.Itoa(f.Pos.Line)
+		want, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("finding %q at %s does not contain %q", f.Message, key, want)
+		}
+		seen[key] = true
+	}
+	for key, want := range wants {
+		if !seen[key] {
+			t.Errorf("missing finding at %s (want %q)", key, want)
+		}
+	}
+}
+
+// TestCtxPropFixture runs ctxprop over the spoofed pg/route pair. The
+// descend case is the acceptance criterion for the analyzer: removing the
+// ctx threading between a carrier and the distance sink — what deleting
+// the ctx parameter from the real route/l2route/pg descent produces — must
+// fail the lint.
+func TestCtxPropFixture(t *testing.T) {
+	runTreeFixture(t, CtxProp, "ctxprop")
+}
+
+func TestBuildCallGraph(t *testing.T) {
+	g := BuildCallGraph(loadFixtureTree(t, "callgraph"))
+
+	node := func(key string) *FuncNode {
+		t.Helper()
+		n := g.Node(key)
+		if n == nil {
+			t.Fatalf("no node for %s", key)
+		}
+		return n
+	}
+	edge := func(n *FuncNode, key string, dynamic bool) bool {
+		for _, c := range n.Calls {
+			if c.Key == key && c.Dynamic == dynamic {
+				return true
+			}
+		}
+		return false
+	}
+
+	use := node("fixture/cg/b.Use")
+	eval := node("fixture/cg/a.Eval")
+	if !edge(use, "fixture/cg/a.Eval", false) {
+		t.Errorf("Use is missing the static cross-package edge to Eval: %v", use.Calls)
+	}
+	if !edge(eval, "fixture/cg/a.Ranker.Rank", true) {
+		t.Errorf("Eval is missing the dynamic edge to the interface method: %v", eval.Calls)
+	}
+	if !edge(eval, "fixture/cg/a.Doubler.Rank", true) {
+		t.Errorf("Eval is missing the CHA edge to the implementation: %v", eval.Calls)
+	}
+
+	hot := node("fixture/cg/a.Hot")
+	if !hot.HotPath {
+		t.Error("Hot is not marked //lan:hotpath")
+	}
+	if hot.CtxParam == nil || !hot.CtxParamUsed {
+		t.Errorf("Hot context param detection: param=%v used=%v", hot.CtxParam, hot.CtxParamUsed)
+	}
+	if !edge(hot, "fixture/cg/a.helper", false) {
+		t.Errorf("call made inside Hot's func literal is not attributed to Hot: %v", hot.Calls)
+	}
+
+	if n := node("fixture/cg/a.Panicky"); len(n.Panics) != 1 {
+		t.Errorf("Panicky records %d panics, want 1", len(n.Panics))
+	}
+	if n := node("fixture/cg/a.Fresh"); len(n.NewContexts) != 1 {
+		t.Errorf("Fresh records %d fresh contexts, want 1", len(n.NewContexts))
+	}
+
+	impl := node("fixture/cg/a.Doubler.Rank")
+	static := g.ReachableFrom([]*FuncNode{use}, false)
+	if static[eval] == nil {
+		t.Error("static reachability from Use misses Eval")
+	}
+	if static[impl] != nil {
+		t.Error("static reachability from Use should not cross the interface dispatch")
+	}
+	dynamic := g.ReachableFrom([]*FuncNode{use}, true)
+	if dynamic[impl] == nil {
+		t.Error("dynamic reachability from Use misses the CHA-expanded implementation")
+	}
+	if dynamic[impl] != use {
+		t.Errorf("provenance of Doubler.Rank should be the root Use, got %v", dynamic[impl])
+	}
+}
+
+// TestAllowCommentAudit pins the framework findings for malformed allow
+// comments: bare, unknown-analyzer and reason-less forms are reported and
+// cannot vouch for themselves.
+func TestAllowCommentAudit(t *testing.T) {
+	const src = `package fixture
+
+func pair() (float64, float64) { return 1, 2 }
+
+func reasoned() bool {
+	a, b := pair()
+	//lint:allow floatcmp tolerance handled by the caller
+	return a == b
+}
+
+func bare() bool {
+	a, b := pair()
+	//lint:allow
+	return a == b
+}
+
+func unknownName() bool {
+	a, b := pair()
+	//lint:allow nosuch some reason text
+	return a == b
+}
+
+func reasonless() bool {
+	a, b := pair()
+	//lint:allow floatcmp
+	return a == b
+}
+`
+	pkg := loadSource(t, "fixture/allowaudit", src)
+	findings := Run([]*Package{pkg}, []*Analyzer{FloatCmp})
+
+	var framework, floatcmp []Finding
+	for _, f := range findings {
+		switch f.Analyzer {
+		case frameworkName:
+			framework = append(framework, f)
+		case FloatCmp.Name:
+			floatcmp = append(floatcmp, f)
+		}
+	}
+	wantSubstrs := []string{"bare //lint:allow", "unknown analyzer", "has no reason"}
+	if len(framework) != len(wantSubstrs) {
+		t.Fatalf("got %d framework findings, want %d: %v", len(framework), len(wantSubstrs), framework)
+	}
+	for i, want := range wantSubstrs {
+		if !strings.Contains(framework[i].Message, want) {
+			t.Errorf("framework finding %d = %q, want substring %q", i, framework[i].Message, want)
+		}
+	}
+	// The bare and unknown-name allows suppress nothing, and the
+	// reason-less one still names floatcmp, so only the float comparisons
+	// under the two malformed allows surface.
+	if len(floatcmp) != 2 {
+		t.Errorf("got %d floatcmp findings, want 2 (under the bare and unknown-name allows): %v", len(floatcmp), floatcmp)
+	}
+}

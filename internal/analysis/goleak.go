@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak requires every `go` statement to be provably bounded. A goroutine
+// that nothing waits for or cancels is how parallel speedups turn into
+// leaks and shutdown races, so each spawn must match one of the accepted
+// shapes:
+//
+//   - the goroutine body calls (sync.WaitGroup).Done — the
+//     fan-out-then-Wait idiom every parallel section in this repo uses,
+//     including the pg.WorkerPool workers;
+//   - the body's top-level loop is `for ... := range ch` over a channel —
+//     the worker drains a channel and exits when it is closed;
+//   - the body selects on <-ctx.Done() — a context-cancellable loop;
+//   - the body is exactly one channel send — the single-shot
+//     result-delivery goroutine (e.g. `go func() { errc <- srv.Serve(ln) }()`),
+//     which terminates after one statement.
+//
+// `go name(...)` spawns are resolved through the call graph and the named
+// function's body is held to the same shapes. Anything else needs
+// //lint:allow goleak <reason> explaining what bounds the goroutine.
+var GoLeak = &Analyzer{
+	Name:      "goleak",
+	Doc:       "every go statement must be tied to a WaitGroup, worker pool, or cancellable loop with a provable exit",
+	RunGlobal: runGoLeak,
+}
+
+func runGoLeak(p *GlobalPass) {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				g, ok := x.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+					if !goroutineBounded(pkg.Info, lit.Body) {
+						p.Reportf(pkg, g.Pos(), "goroutine has no provable exit: tie it to a sync.WaitGroup, a channel-range loop, or <-ctx.Done()")
+					}
+					return true
+				}
+				callee := staticCallee(pkg.Info, g.Call)
+				node := p.Graph.NodeOf(callee)
+				if node == nil {
+					p.Reportf(pkg, g.Pos(), "goroutine target cannot be resolved statically, so its exit cannot be proven; spawn a named module function or a func literal")
+					return true
+				}
+				if !goroutineBounded(node.Pkg.Info, node.Decl.Body) {
+					p.Reportf(pkg, g.Pos(), "goroutine %s has no provable exit: tie it to a sync.WaitGroup, a channel-range loop, or <-ctx.Done()", node.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// goroutineBounded reports whether body matches one of the accepted
+// goroutine shapes.
+func goroutineBounded(info *types.Info, body *ast.BlockStmt) bool {
+	if len(body.List) == 1 {
+		if _, isSend := body.List[0].(*ast.SendStmt); isSend {
+			return true
+		}
+	}
+	bounded := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if isMethodOn(info, x, "sync", "WaitGroup", "Done") {
+				bounded = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					bounded = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// A receive from ctx.Done() anywhere in the body (select case
+			// or bare wait) counts as cancellable.
+			if call, isCall := ast.Unparen(x.X).(*ast.CallExpr); isCall && x.Op.String() == "<-" {
+				if isMethodOn(info, call, "context", "Context", "Done") {
+					bounded = true
+				}
+			}
+		}
+		return !bounded
+	})
+	return bounded
+}
+
+// isMethodOn reports whether call invokes method name on the named type
+// typeName from package pkgPath (receiver pointerness ignored).
+func isMethodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	t := selection.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc enforces zero allocation in //lan:hotpath regions. The marked
+// functions — the GED beam kernel, the trace fast path, the mat Into
+// kernels, the top-k candidate-pool maintenance — are the per-step inner
+// loops whose 0 allocs/op the benchmarks pin dynamically; this analyzer
+// pins the same invariant statically, so an accidental allocation fails
+// `make lint` instead of waiting for someone to re-run the benchmarks.
+//
+// The hot region is the annotated functions plus everything they
+// statically call inside the module. Within it the analyzer flags the
+// constructs that always or typically allocate:
+//
+//   - make, new, map and slice literals, and closures (func literals);
+//   - append, except the amortized self-growth form x = append(x, ...)
+//     (same base expression on both sides, slicing allowed), which reuses
+//     capacity in steady state;
+//   - conversions that copy (to a slice type, or slice<->string);
+//   - fmt calls (allocate and box);
+//   - interface boxing at call sites: passing a non-pointer-shaped,
+//     non-zero-size value as an interface argument heap-allocates it.
+//
+// Arguments of panic(...) calls are skipped: the invariant is about the
+// steady-state loop, and the error-formatting on a programmer-error panic
+// path may allocate freely. Deliberate warm-up allocations (arena growth
+// on first use, pool misses) carry //lint:allow hotalloc with the reason
+// documenting why steady state is unaffected.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "//lan:hotpath functions and their callees must not allocate",
+	RunGlobal: runHotAlloc,
+}
+
+func runHotAlloc(p *GlobalPass) {
+	g := p.Graph
+	var roots []*FuncNode
+	for _, n := range g.SortedNodes() {
+		if n.HotPath {
+			roots = append(roots, n)
+		}
+	}
+	region := g.ReachableFrom(roots, false)
+	for _, n := range g.SortedNodes() {
+		if root := region[n]; root != nil {
+			checkHotNode(p, n, root)
+		}
+	}
+}
+
+func checkHotNode(p *GlobalPass, n, root *FuncNode) {
+	info := n.Pkg.Info
+	// in prefixes each message with the hot-path root, so a report deep in
+	// a callee names the kernel whose contract it breaks.
+	in := func(format string) string {
+		return "hot path (//lan:hotpath " + root.Name() + "): " + format
+	}
+
+	// First pass: collect the append calls in the sanctioned self-growth
+	// form, x = append(x, ...) or x = append(x[:k], ...).
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBuiltinCall(info, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		base := ast.Unparen(call.Args[0])
+		if sl, isSlice := base.(*ast.SliceExpr); isSlice {
+			base = ast.Unparen(sl.X)
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(base) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CompositeLit:
+			tv, ok := info.Types[x]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pkg, x.Pos(), in("map literal allocates"))
+			case *types.Slice:
+				p.Reportf(n.Pkg, x.Pos(), in("slice literal allocates"))
+			}
+		case *ast.FuncLit:
+			p.Reportf(n.Pkg, x.Pos(), in("closure allocates"))
+		case *ast.CallExpr:
+			return checkHotCall(p, n, x, in, selfAppend)
+		}
+		return true
+	})
+}
+
+// checkHotCall applies the allocation rules to one call expression; the
+// returned bool is the ast.Inspect descend decision (false only for
+// panic(...), whose error-formatting arguments are off the steady path).
+func checkHotCall(p *GlobalPass, n *FuncNode, call *ast.CallExpr, in func(string) string, selfAppend map[*ast.CallExpr]bool) bool {
+	info := n.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x) where T copies.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		target := tv.Type.Underlying()
+		if _, isSlice := target.(*types.Slice); isSlice {
+			p.Reportf(n.Pkg, call.Pos(), in("conversion to a slice type copies and allocates"))
+		} else if b, isBasic := target.(*types.Basic); isBasic && b.Kind() == types.String {
+			if argTV, okArg := info.Types[call.Args[0]]; okArg && argTV.Type != nil {
+				if _, fromSlice := argTV.Type.Underlying().(*types.Slice); fromSlice {
+					p.Reportf(n.Pkg, call.Pos(), in("slice-to-string conversion copies and allocates"))
+				}
+			}
+		}
+		return true
+	}
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "panic":
+				return false
+			case "make":
+				p.Reportf(n.Pkg, call.Pos(), in("make allocates"))
+			case "new":
+				p.Reportf(n.Pkg, call.Pos(), in("new allocates"))
+			case "append":
+				if !selfAppend[call] {
+					p.Reportf(n.Pkg, call.Pos(), in("append outside the self-growth form x = append(x, ...) allocates a new backing array"))
+				}
+			}
+			return true
+		}
+	}
+
+	// fmt calls allocate (and box every argument).
+	if callee := staticCallee(info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		p.Reportf(n.Pkg, call.Pos(), in("fmt call allocates"))
+		return true
+	}
+
+	// Interface boxing at the call boundary.
+	sig, ok := info.Types[fun].Type.(*types.Signature)
+	if !ok {
+		return true
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at, okArg := info.Types[arg]
+		if !okArg || at.Type == nil || types.IsInterface(at.Type) {
+			continue
+		}
+		if b, isBasic := at.Type.Underlying().(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if boxAllocates(at.Type) {
+			p.Reportf(n.Pkg, arg.Pos(), in("passing %s as an interface boxes it on the heap"), at.Type.String())
+		}
+	}
+	return true
+}
+
+// paramTypeAt returns the effective parameter type for argument i of a
+// call to sig, unwrapping the variadic slice for the trailing parameters.
+// Calls spreading a slice with ... pass it through without boxing, so
+// ellipsis calls report no variadic type.
+func paramTypeAt(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		if ellipsis {
+			return nil
+		}
+		if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// boxAllocates reports whether storing a value of type t in an interface
+// heap-allocates: pointer-shaped types (pointers, channels, maps,
+// functions, unsafe.Pointer) fit the interface data word, and zero-size
+// values use a shared sentinel; everything else escapes.
+func boxAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return false
+		}
+		return true
+	case *types.Struct:
+		return u.NumFields() > 0
+	case *types.Array:
+		return u.Len() > 0
+	}
+	return true
+}
+
+// staticCallee resolves the *types.Func a call statically invokes (package
+// function, qualified function or non-interface method), or nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

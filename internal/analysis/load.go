@@ -36,12 +36,18 @@ type listedPackage struct {
 
 // Load resolves the given package patterns (e.g. "./...") relative to dir
 // with the go command, then parses and type-checks every matched
-// non-standard package from source. Imports — both stdlib and in-module —
-// are satisfied from compiler export data produced by `go list -export`,
-// so each package is checked independently without re-checking its
-// dependency sources. Only non-test Go files are loaded: the analyzers
-// enforce library invariants, and tests legitimately use panics, exact
-// float expectations and ad-hoc RNG seeding.
+// non-standard package from source. `go list -deps` emits packages in
+// dependency order (dependencies before dependents), so in-module imports
+// are satisfied with the already-source-checked *types.Package of the
+// dependency rather than its export data; standard-library imports come
+// from compiler export data produced by `go list -export`. Source-checking
+// the whole module under one importer gives every type and object a single
+// identity across packages — the property the call-graph layer
+// (callgraph.go) and the module-wide analyzers rely on to match a function
+// or struct field seen from two different packages. Only non-test Go files
+// are loaded: the analyzers enforce library invariants, and tests
+// legitimately use panics, exact float expectations and ad-hoc RNG
+// seeding.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
@@ -75,13 +81,14 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	exp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("analysis: no export data for %q", path)
 		}
 		return os.Open(f)
 	})
+	imp := &moduleImporter{export: exp, checked: make(map[string]*types.Package)}
 
 	var pkgs []*Package
 	for _, m := range metas {
@@ -89,9 +96,30 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		imp.checked[m.ImportPath] = pkg.Types
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// moduleImporter satisfies in-module imports with the source-checked
+// *types.Package recorded by Load (dependency order guarantees it exists
+// by the time a dependent asks for it) and everything else — the standard
+// library — from export data. Returning the same *types.Package for every
+// importer of a module package is what keeps object identity: a *types.Func
+// or struct-field *types.Var observed from two different packages is one
+// pointer, so the call graph and the module-wide analyzers can use plain
+// map keys instead of fragile name matching.
+type moduleImporter struct {
+	export  types.Importer
+	checked map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	return m.export.Import(path)
 }
 
 // checkPackage parses the named files and type-checks them as one package.

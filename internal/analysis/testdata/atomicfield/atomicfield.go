@@ -1,0 +1,63 @@
+// Package fixture exercises the atomicfield analyzer: a field touched via
+// sync/atomic anywhere must never be accessed plainly anywhere else, and
+// lock-bearing types must not be copied (value receivers, by-value
+// parameters, dereference assignments).
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counterHolder mixes atomic and plain access to hits.
+type counterHolder struct {
+	hits int64
+	name string
+}
+
+func (h *counterHolder) record() {
+	atomic.AddInt64(&h.hits, 1) // the sanctioned atomic site
+}
+
+func (h *counterHolder) report() int64 {
+	return h.hits // want "must not be read or written plainly"
+}
+
+func (h *counterHolder) reset() {
+	h.hits = 0 // want "must not be read or written plainly"
+}
+
+func (h *counterHolder) label() string {
+	return h.name // never touched atomically: ok
+}
+
+// guarded carries a mutex by value, so copying it tears the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g guarded) bad() int { // want "value receiver"
+	return g.n
+}
+
+func (g *guarded) good() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func consume(g guarded) int { // want "by value"
+	return g.n
+}
+
+func deref(p *guarded) int {
+	q := *p // want "dereferences and copies"
+	return q.n
+}
+
+func snapshot(p *guarded) int {
+	//lint:allow atomicfield snapshot taken under an external happens-before barrier
+	q := *p
+	return q.n
+}

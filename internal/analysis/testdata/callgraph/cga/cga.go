@@ -1,0 +1,42 @@
+//fixture:path fixture/cg/a
+
+// Package cga is the callee side of the synthetic call-graph fixture.
+package cga
+
+import "context"
+
+// Ranker is implemented by Doubler; Eval's interface call must produce a
+// dynamic edge to the method plus a CHA edge to the implementation.
+type Ranker interface {
+	Rank(x int) int
+}
+
+type Doubler struct{}
+
+func (Doubler) Rank(x int) int { return 2 * x }
+
+func Eval(r Ranker, x int) int {
+	return r.Rank(x)
+}
+
+func helper(y int) int { return y + 1 }
+
+// Hot carries a used context, is hot-path annotated, and calls helper only
+// from inside a function literal — the call must be attributed to Hot.
+//
+//lan:hotpath
+func Hot(ctx context.Context, x int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	f := func(y int) int { return helper(y) }
+	return f(x)
+}
+
+func Panicky() {
+	panic("boom")
+}
+
+func Fresh() context.Context {
+	return context.Background()
+}

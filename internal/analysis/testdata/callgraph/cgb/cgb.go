@@ -1,0 +1,11 @@
+//fixture:path fixture/cg/b
+
+// Package cgb is the caller side of the synthetic call-graph fixture: its
+// edges cross the package boundary into fixture/cg/a.
+package cgb
+
+import cga "fixture/cg/a"
+
+func Use(x int) int {
+	return cga.Eval(cga.Doubler{}, x)
+}

@@ -1,0 +1,81 @@
+//fixture:path github.com/lansearch/lan/internal/route
+
+// Package route exercises ctxprop over a spoofed query path. descend is
+// the acceptance case the analyzer exists for: delete the ctx threading
+// between a carrier and the distance sink — exactly what removing the ctx
+// parameter from the real route/l2route/pg descent produces — and the
+// thread break is reported.
+package route
+
+import (
+	"context"
+
+	"github.com/lansearch/lan/internal/pg"
+)
+
+// SearchContext is the context carrier at the API boundary.
+func SearchContext(ctx context.Context, c *pg.DistCache) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return descend(c, 3)
+}
+
+// Search is the convenience-wrapper idiom — Background at the boundary,
+// delegating to the Context sibling — and is exempt.
+func Search(c *pg.DistCache) float64 {
+	return SearchContext(context.Background(), c)
+}
+
+// descend reaches the sink without accepting or carrying a context, so
+// the cancellation arriving at SearchContext dies here.
+func descend(c *pg.DistCache, depth int) float64 { // want "does not accept or carry"
+	best := 0.0
+	for i := 0; i < depth; i++ {
+		best += c.Dist(i)
+	}
+	return best
+}
+
+// Evaluate manufactures an uncancellable context mid-path.
+func Evaluate(ctx context.Context, c *pg.DistCache) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return rank(context.Background(), c) // want "distance-evaluating path"
+}
+
+// rank threads its context properly.
+func rank(ctx context.Context, c *pg.DistCache) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return c.Dist(0)
+}
+
+// Score promises cancellation its body never delivers.
+func Score(ctx context.Context, c *pg.DistCache) float64 { // want "dropped"
+	return c.Dist(9)
+}
+
+// router is the context-carrying struct pattern: the per-query ctx rides
+// on the struct, so its methods carry context without a parameter.
+type router struct {
+	ctx context.Context
+	c   *pg.DistCache
+}
+
+func (r *router) run() float64 { return r.step(1) }
+
+func (r *router) step(i int) float64 {
+	if r.ctx.Err() != nil {
+		return 0
+	}
+	return r.c.Dist(i)
+}
+
+// offlineBuild is a documented uncancellable offline path.
+func offlineBuild(c *pg.DistCache) float64 {
+	//lint:allow ctxprop offline index build has no caller to cancel
+	return rank(context.Background(), c)
+}

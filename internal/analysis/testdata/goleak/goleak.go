@@ -1,0 +1,86 @@
+// Package fixture exercises the goleak analyzer: every go statement must
+// match one of the provably bounded shapes (WaitGroup.Done, channel-range
+// worker, ctx.Done receive, single-send) whether spawned as a literal or a
+// named function; anything else needs a reasoned allow.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func fanOut(xs []int) int {
+	var wg sync.WaitGroup
+	squares := make([]int, len(xs))
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i, x int) { // WaitGroup-bounded: ok
+			defer wg.Done()
+			squares[i] = x * x
+		}(i, x)
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range squares {
+		total += v
+	}
+	return total
+}
+
+func worker(in, out chan int) {
+	go func() { // channel-range worker: ok
+		for v := range in {
+			out <- v
+		}
+	}()
+}
+
+func oneShot(errc chan error, f func() error) {
+	go func() { errc <- f() }() // single-send result delivery: ok
+}
+
+func cancellable(ctx context.Context, tick chan int) {
+	go func() { // ctx.Done receive: ok
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func spawnDrain(ch chan int) {
+	go drain(ch) // named target with a channel-range body: ok
+}
+
+func spin(stop *bool) {
+	for !*stop {
+	}
+}
+
+func leakyLiteral(stop *bool) {
+	go func() { // want "no provable exit"
+		for !*stop {
+		}
+	}()
+}
+
+func leakyNamed(stop *bool) {
+	go spin(stop) // want "no provable exit"
+}
+
+func dynamicTarget(f func()) {
+	go f() // want "resolved statically"
+}
+
+func allowed(f func()) {
+	//lint:allow goleak pump bound to the process lifetime on purpose
+	go f()
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises the hotalloc analyzer: inside the
+// //lan:hotpath region (the marked function plus its static callees) every
+// construct that allocates must be flagged — literals, closures, make/new,
+// non-self-growth appends, copying conversions, fmt calls and interface
+// boxing — while the sanctioned shapes (self-growth append, panic
+// arguments, pointer-shaped interface values) and code outside the region
+// must not.
+package fixture
+
+import "fmt"
+
+type buf struct {
+	ints []int
+	tags []string
+}
+
+// grow is only ever called from the hot region, so its allocation is
+// reported against the kernel root.
+func grow(n int) []int {
+	return make([]int, n) // want "hotpath kernel"
+}
+
+// sink receives interface values; boxing is charged at the call sites.
+func sink(v interface{}) {}
+
+// kernel is the annotated hot function.
+//
+//lan:hotpath
+func kernel(b *buf, xs []int, raw []byte, name string) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	b.ints = append(b.ints, total)     // amortized self-growth: ok
+	b.ints = append(b.ints[:0], xs...) // resliced self-growth: ok
+	other := append(xs, total)         // want "self-growth"
+	_ = other
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	lit := []int{total} // want "slice literal allocates"
+	_ = lit
+	cl := func() int { return total } // want "closure allocates"
+	total += cl()
+	total += grow(len(xs))[0]
+	p := new(buf) // want "new allocates"
+	_ = p
+	bs := []byte(name) // want "conversion to a slice type"
+	_ = bs
+	st := string(raw) // want "slice-to-string conversion"
+	_ = st
+	fmt.Println(total) // want "fmt call allocates"
+	sink(total)        // want "boxes it on the heap"
+	sink(b)            // pointer-shaped: ok
+	if total < 0 {
+		panic(fmt.Sprintf("negative %d", total)) // panic arguments are off the steady path: ok
+	}
+	//lint:allow hotalloc warm-up growth on first use; steady state reuses the capacity
+	warm := make([]int, 0, len(xs))
+	_ = warm
+	return total
+}
+
+// cold is outside the hot region: allocations here are fine.
+func cold() []int {
+	return []int{1, 2, 3}
+}

@@ -67,6 +67,7 @@ func newNode(data *mat.Matrix, parents ...*Value) *Value {
 // grad.
 func Backward(v *Value) {
 	if v.Data.Rows != 1 || v.Data.Cols != 1 {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("autograd: Backward on non-scalar %dx%d", v.Data.Rows, v.Data.Cols))
 	}
 	order := topo(v)
@@ -135,6 +136,7 @@ func Add(a, b *Value) *Value {
 // the RxC matrix a.
 func AddRowBroadcast(a, b *Value) *Value {
 	if b.Data.Rows != 1 || b.Data.Cols != a.Data.Cols {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("autograd: AddRowBroadcast %dx%d + %dx%d", a.Data.Rows, a.Data.Cols, b.Data.Rows, b.Data.Cols))
 	}
 	data := a.Data.Clone()
@@ -165,6 +167,7 @@ func AddRowBroadcast(a, b *Value) *Value {
 // column vector a (Rx1) and row vector b (1xC).
 func OuterSum(a, b *Value) *Value {
 	if a.Data.Cols != 1 || b.Data.Rows != 1 {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("autograd: OuterSum wants Rx1 and 1xC, got %dx%d and %dx%d", a.Data.Rows, a.Data.Cols, b.Data.Rows, b.Data.Cols))
 	}
 	r, c := a.Data.Rows, b.Data.Cols
@@ -330,6 +333,7 @@ func Transpose(a *Value) *Value {
 // ConcatCols returns [a | b] with matching row counts.
 func ConcatCols(a, b *Value) *Value {
 	if a.Data.Rows != b.Data.Rows {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("autograd: ConcatCols rows %d vs %d", a.Data.Rows, b.Data.Rows))
 	}
 	r := a.Data.Rows
@@ -363,6 +367,7 @@ func ConcatCols(a, b *Value) *Value {
 // ConcatRows stacks a on top of b (matching column counts).
 func ConcatRows(a, b *Value) *Value {
 	if a.Data.Cols != b.Data.Cols {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("autograd: ConcatRows cols %d vs %d", a.Data.Cols, b.Data.Cols))
 	}
 	ra, rb := a.Data.Rows, b.Data.Rows
@@ -397,6 +402,7 @@ func ConcatRows(a, b *Value) *Value {
 // mean-pool readout.
 func WeightedMeanRows(a *Value, w []float64) *Value {
 	if len(w) != a.Data.Rows {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("autograd: WeightedMeanRows %d weights for %d rows", len(w), a.Data.Rows))
 	}
 	total := 0.0
@@ -404,6 +410,7 @@ func WeightedMeanRows(a *Value, w []float64) *Value {
 		total += wi
 	}
 	if total == 0 {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic("autograd: WeightedMeanRows zero total weight")
 	}
 	data := mat.New(1, a.Data.Cols)
@@ -483,6 +490,7 @@ func Mul(a, b *Value) *Value {
 // GatherCols returns the column slice a[:, from:to).
 func GatherCols(a *Value, from, to int) *Value {
 	if from < 0 || to > a.Data.Cols || from >= to {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("autograd: GatherCols [%d, %d) of %d cols", from, to, a.Data.Cols))
 	}
 	w := to - from

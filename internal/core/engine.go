@@ -406,10 +406,10 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 			QueryCG:    qcg,
 		}
 		before := tm.Elapsed()
-		entry = sel.Select(e.DB, q, cache)
+		entry = sel.Select(ctx, e.DB, q, cache)
 		distInModels = tm.Elapsed() - before
 	case HNSWIS:
-		entry = e.Index.EntryPointPooled(cache, pool)
+		entry = e.Index.EntryPointPooled(ctx, cache, pool)
 		distInModels = tm.Elapsed()
 	case RandIS:
 		entry = pseudoRandomEntry(q, len(e.DB))

@@ -177,7 +177,7 @@ func TraceSamples(p Protocol, cache *EnvCache, w io.Writer) error {
 			continue
 		}
 		t := obs.NewTrace(spec.Name)
-		ctx := obs.With(context.Background(), t)
+		ctx := obs.With(context.Background(), t) //lint:allow ctxprop bench harness entry point; experiment queries run to completion by design
 		so := core.SearchOptions{K: p.K, Beam: p.Beams[len(p.Beams)-1], Initial: core.LANIS, Routing: core.LANRoute}
 		if _, _, err := env.Engine.SearchPooled(ctx, env.Test[0], so, nil); err != nil {
 			return err
@@ -266,6 +266,7 @@ func queryPoint(env *Env, beam int) QueryPoint {
 	}
 	run := func(pool *pg.WorkerPool) ([]outcome, []float64, float64) {
 		if len(env.Test) > 0 { // warm up one-time setup (see benchPoint)
+			//lint:allow ctxprop bench harness entry point; warm-up query runs to completion by design
 			env.Engine.SearchPooled(context.Background(), env.Test[0], so, pool)
 		}
 		outs := make([]outcome, len(env.Test))
@@ -273,6 +274,7 @@ func queryPoint(env *Env, beam int) QueryPoint {
 		var total float64
 		for i, q := range env.Test {
 			start := time.Now()
+			//lint:allow ctxprop bench harness entry point; timed queries run to completion by design
 			res, stats, _ := env.Engine.SearchPooled(context.Background(), q, so, pool)
 			elapsed := time.Since(start)
 			lat[i] = float64(elapsed.Microseconds())

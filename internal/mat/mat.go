@@ -21,6 +21,7 @@ type Matrix struct {
 // New returns a zero matrix of the given shape.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: negative shape %dx%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
@@ -29,6 +30,7 @@ func New(rows, cols int) *Matrix {
 // FromSlice builds a matrix from a row-major slice, which is copied.
 func FromSlice(rows, cols int, data []float64) *Matrix {
 	if len(data) != rows*cols {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: %d values for %dx%d", len(data), rows, cols))
 	}
 	m := New(rows, cols)
@@ -76,6 +78,7 @@ func (m *Matrix) SameShapeOrPanic(o *Matrix) { m.shapeCheck(o, "shape") }
 
 func (m *Matrix) shapeCheck(o *Matrix, op string) {
 	if !m.SameShape(o) {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 }
@@ -92,15 +95,21 @@ const (
 	parallelMinWork = 1 << 19
 )
 
+// rangeKernel computes destination rows [i0, i1) of one product kernel.
+// Declared kernels (mulRange, mulTRange, tMulRange) are passed instead of
+// closures so that the sequential fast path of parallelRows allocates
+// nothing.
+type rangeKernel func(dst, m, o *Matrix, i0, i1 int)
+
 // parallelRows splits the destination rows [0, rows) across GOMAXPROCS
 // goroutines when the kernel has enough work to amortize the fan-out.
 // Each range writes a disjoint set of rows and the per-element
 // accumulation order is untouched, so the parallel product is
 // bit-identical to the sequential one.
-func parallelRows(rows, work int, body func(i0, i1 int)) {
+func parallelRows(dst, m, o *Matrix, rows, work int, kernel rangeKernel) {
 	workers := runtime.GOMAXPROCS(0)
 	if work < parallelMinWork || workers < 2 || rows < 2 {
-		body(0, rows)
+		kernel(dst, m, o, 0, rows)
 		return
 	}
 	if workers > rows {
@@ -114,9 +123,10 @@ func parallelRows(rows, work int, body func(i0, i1 int)) {
 			i1 = rows
 		}
 		wg.Add(1)
+		//lint:allow hotalloc goroutine fan-out runs only above parallelMinWork, where the kernel's work amortizes the closure
 		go func(i0, i1 int) {
 			defer wg.Done()
-			body(i0, i1)
+			kernel(dst, m, o, i0, i1)
 		}(i0, i1)
 	}
 	wg.Wait()
@@ -125,6 +135,7 @@ func parallelRows(rows, work int, body func(i0, i1 int)) {
 // Mul returns the matrix product m * o.
 func Mul(m, o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	return MulInto(New(m.Rows, o.Cols), m, o)
@@ -134,22 +145,26 @@ func Mul(m, o *Matrix) *Matrix {
 // must not alias m or o) and returns dst. Reusing a destination — e.g.
 // one drawn from GetScratch — avoids the per-call allocation of Mul on
 // hot paths.
+//
+//lan:hotpath
 func MulInto(dst, m, o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	if dst.Rows != m.Rows || dst.Cols != o.Cols {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: mul into %dx%d destination for %dx%d product", dst.Rows, dst.Cols, m.Rows, o.Cols))
 	}
-	parallelRows(m.Rows, m.Rows*m.Cols*o.Cols, func(i0, i1 int) {
-		mulRange(dst, m, o, i0, i1)
-	})
+	parallelRows(dst, m, o, m.Rows, m.Rows*m.Cols*o.Cols, mulRange)
 	return dst
 }
 
 // mulRange computes rows [i0, i1) of dst = m * o, tiled over the inner
 // dimension and the destination columns. Dense inputs take no
 // per-element branch (zero-skip lives only in the sparse-aware TMul).
+//
+//lan:hotpath
 func mulRange(dst, m, o *Matrix, i0, i1 int) {
 	for i := i0; i < i1; i++ {
 		row := dst.Row(i)
@@ -185,6 +200,7 @@ func mulRange(dst, m, o *Matrix, i0, i1 int) {
 // MulT returns m * oᵀ.
 func MulT(m, o *Matrix) *Matrix {
 	if m.Cols != o.Cols {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: mulT shape mismatch %dx%d * (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	return MulTInto(New(m.Rows, o.Rows), m, o)
@@ -192,21 +208,25 @@ func MulT(m, o *Matrix) *Matrix {
 
 // MulTInto computes m * oᵀ into dst (which must be m.Rows x o.Rows and
 // must not alias m or o) and returns dst.
+//
+//lan:hotpath
 func MulTInto(dst, m, o *Matrix) *Matrix {
 	if m.Cols != o.Cols {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: mulT shape mismatch %dx%d * (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	if dst.Rows != m.Rows || dst.Cols != o.Rows {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: mulT into %dx%d destination for %dx%d product", dst.Rows, dst.Cols, m.Rows, o.Rows))
 	}
-	parallelRows(m.Rows, m.Rows*m.Cols*o.Rows, func(i0, i1 int) {
-		mulTRange(dst, m, o, i0, i1)
-	})
+	parallelRows(dst, m, o, m.Rows, m.Rows*m.Cols*o.Rows, mulTRange)
 	return dst
 }
 
 // mulTRange computes rows [i0, i1) of dst = m * oᵀ as dot products,
 // tiled over o's rows so a tile of them stays cached across the range.
+//
+//lan:hotpath
 func mulTRange(dst, m, o *Matrix, i0, i1 int) {
 	for j0 := 0; j0 < o.Rows; j0 += tileJ {
 		j1 := j0 + tileJ
@@ -231,6 +251,7 @@ func mulTRange(dst, m, o *Matrix, i0, i1 int) {
 // TMul returns mᵀ * o.
 func TMul(m, o *Matrix) *Matrix {
 	if m.Rows != o.Rows {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: tmul shape mismatch (%dx%d)ᵀ * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	return TMulInto(New(m.Cols, o.Cols), m, o)
@@ -241,22 +262,26 @@ func TMul(m, o *Matrix) *Matrix {
 // left operand is routinely sparse (one-hot GNN inputs, ReLU-masked
 // activations and their gradients), where skipping zero rows saves far
 // more than the branch costs.
+//
+//lan:hotpath
 func TMulInto(dst, m, o *Matrix) *Matrix {
 	if m.Rows != o.Rows {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: tmul shape mismatch (%dx%d)ᵀ * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	if dst.Rows != m.Cols || dst.Cols != o.Cols {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: tmul into %dx%d destination for %dx%d product", dst.Rows, dst.Cols, m.Cols, o.Cols))
 	}
-	parallelRows(m.Cols, m.Rows*m.Cols*o.Cols, func(i0, i1 int) {
-		tMulRange(dst, m, o, i0, i1)
-	})
+	parallelRows(dst, m, o, m.Cols, m.Rows*m.Cols*o.Cols, tMulRange)
 	return dst
 }
 
 // tMulRange computes rows [i0, i1) of dst = mᵀ * o (i indexes m's
 // columns). k stays the outer ascending loop, so per-element accumulation
 // order matches the naive kernel exactly.
+//
+//lan:hotpath
 func tMulRange(dst, m, o *Matrix, i0, i1 int) {
 	for i := i0; i < i1; i++ {
 		row := dst.Row(i)
@@ -290,6 +315,7 @@ var scratchPool = sync.Pool{New: func() interface{} { return new(Matrix) }}
 // retain the matrix (or slices of its Data) afterwards.
 func GetScratch(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		//lint:allow libpanic documented numpy-style shape-check contract; unreachable for well-formed models
 		panic(fmt.Sprintf("mat: negative shape %dx%d", rows, cols))
 	}
 	m := scratchPool.Get().(*Matrix)

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"sort"
 
 	"github.com/lansearch/lan/graph"
@@ -165,8 +166,10 @@ type InitialSelector struct {
 // Select returns the initial node for routing Q over db. Fallbacks: when
 // the predicted neighborhood is empty, the graph with the highest M_nh
 // probability among scanned candidates is used; when even that fails, the
-// first member of the top cluster.
-func (s *InitialSelector) Select(db graph.Database, q *graph.Graph, cache *pg.DistCache) int {
+// first member of the top cluster. Cancelling ctx stops the GED sample
+// verification early and returns the best candidate found so far — the
+// model predictions themselves are cheap and always complete.
+func (s *InitialSelector) Select(ctx context.Context, db graph.Database, q *graph.Graph, cache *pg.DistCache) int {
 	top := s.TopClusters
 	if top <= 0 {
 		top = 3
@@ -223,6 +226,9 @@ func (s *InitialSelector) Select(db graph.Database, q *graph.Graph, cache *pg.Di
 	}
 	best, bestD := predicted[0], cache.Dist(predicted[0])
 	for _, g := range predicted[1:samples] {
+		if ctx.Err() != nil {
+			break
+		}
 		if d := cache.Dist(g); d < bestD {
 			best, bestD = g, d
 		}

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"testing"
 
 	"github.com/lansearch/lan/ged"
@@ -349,7 +350,7 @@ func TestInitialSelectorEndToEnd(t *testing.T) {
 	sel := &InitialSelector{Mnh: mnh, Mc: mc, TopClusters: 3, Samples: 4, Seed: 8, Predictions: &preds}
 	q := f.queries[len(f.queries)-1]
 	cache := pg.NewDistCache(f.metric, f.db, q)
-	entry := sel.Select(f.db, q, cache)
+	entry := sel.Select(context.Background(), f.db, q, cache)
 	if entry < 0 || entry >= len(f.db) {
 		t.Fatalf("entry out of range: %d", entry)
 	}

@@ -1,6 +1,7 @@
 package pg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -217,8 +218,10 @@ func (h *HNSW) insert(i, level, efConstruction int) {
 	top := h.Level[h.Entry]
 
 	// Greedy descent through the layers above the new node's level.
+	// Index construction is offline and deliberately uncancellable until
+	// the mutable index lands; the query path gets a real ctx instead.
 	for l := top; l > level; l-- {
-		ep = h.greedyStep(l, ep, c, h.pool)
+		ep = h.greedyStep(context.Background(), l, ep, c, h.pool) //lint:allow ctxprop offline build descent; uncancellable by design until the mutable index lands
 	}
 
 	// Ef-search and connect on each layer from min(level, top) down to 0.
@@ -302,10 +305,16 @@ func (h *HNSW) layerNeighbors(l int) func(int) []int {
 
 // greedyStep runs greedy search to the local optimum on layer l from ep.
 // Each step's neighbor distances are prefetched through pool (the build
-// pool during construction, a per-query pool at search time).
-func (h *HNSW) greedyStep(l, ep int, c *DistCache, pool *WorkerPool) int {
+// pool during construction, a per-query pool at search time). A cancelled
+// ctx stops the descent at the current node: the result is still a valid
+// entry point (just a worse one), and the caller's own ctx check decides
+// whether the search proceeds.
+func (h *HNSW) greedyStep(ctx context.Context, l, ep int, c *DistCache, pool *WorkerPool) int {
 	neighbors := h.layerNeighbors(l)
 	for {
+		if ctx.Err() != nil {
+			return ep
+		}
 		best := ep
 		bd := c.Dist(ep)
 		ns := neighbors(ep)
@@ -412,17 +421,19 @@ func (h *HNSW) shrink(u int, ns []int, cap int) (kept, dropped []int) {
 // descent from the top layer down to layer 1, charging its distance
 // computations to c. The returned node seeds the layer-0 routing.
 func (h *HNSW) EntryPoint(c *DistCache) int {
-	return h.EntryPointPooled(c, nil)
+	return h.EntryPointPooled(context.Background(), c, nil)
 }
 
-// EntryPointPooled is EntryPoint with each descent step's neighbor
-// distances prefetched through pool. The descent — and the charged NDC —
-// is identical to the sequential EntryPoint for any pool (see
-// DistCache.Prefetch).
-func (h *HNSW) EntryPointPooled(c *DistCache, pool *WorkerPool) int {
+// EntryPointPooled is EntryPoint with cancellation and with each descent
+// step's neighbor distances prefetched through pool. The descent — and
+// the charged NDC — is identical to the sequential EntryPoint for any
+// pool (see DistCache.Prefetch). On cancellation the descent stops early
+// and the current node is returned; the caller's ctx check decides what
+// happens next.
+func (h *HNSW) EntryPointPooled(ctx context.Context, c *DistCache, pool *WorkerPool) int {
 	ep := h.Entry
 	for l := h.Level[h.Entry]; l >= 1; l-- {
-		ep = h.greedyStep(l, ep, c, pool)
+		ep = h.greedyStep(ctx, l, ep, c, pool)
 	}
 	return ep
 }
