@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-baseline test race bench bench-smoke experiments examples serve-smoke clean
+.PHONY: all build vet lint lint-fix lint-baseline test race bench bench-smoke experiments examples serve-smoke mutate-smoke clean
 
 all: build vet lint test
 
@@ -65,6 +65,13 @@ experiments:
 # and verify it drains within 5s of SIGTERM.
 serve-smoke:
 	$(GO) run ./scripts/serve-smoke
+
+# Churn soak for the mutable index: concurrent searches, streaming
+# inserts and deletes against one index (with a pinned snapshot checked
+# for bit-identity throughout), then lan-serve's -writable endpoints,
+# epoch-keyed cache invalidation and write metrics over HTTP.
+mutate-smoke:
+	$(GO) run ./scripts/mutate-smoke
 
 examples:
 	$(GO) run ./examples/quickstart

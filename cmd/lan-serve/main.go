@@ -50,6 +50,7 @@ func main() {
 		quietLog = flag.Bool("quiet", false, "suppress per-request error logging")
 		traceN   = flag.Int("trace-ring", 8, "per-query traces kept for /debug/trace/last (negative disables tracing)")
 		slowQ    = flag.Duration("slow-query", 0, "log the full trace of queries at least this slow (0 disables)")
+		writable = flag.Bool("writable", false, "enable POST /insert and /delete (streaming writes against the served index)")
 	)
 	flag.Parse()
 	if *dbPath == "" || *idxPath == "" {
@@ -81,6 +82,10 @@ func main() {
 		EnablePprof: *pprofOn,
 		TraceRing:   *traceN,
 		SlowQuery:   *slowQ,
+	}
+	if *writable {
+		cfg.Writer = idx
+		defer idx.Close() // stop the background edge optimizer on exit
 	}
 	if !*quietLog {
 		cfg.Logf = log.Printf

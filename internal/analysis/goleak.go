@@ -16,6 +16,10 @@ import (
 //   - the body's top-level loop is `for ... := range ch` over a channel —
 //     the worker drains a channel and exits when it is closed;
 //   - the body selects on <-ctx.Done() — a context-cancellable loop;
+//   - the body receives from a `chan struct{}` — the close-to-shutdown
+//     stop-channel idiom (e.g. the mutable index's background edge
+//     optimizer: `select { case <-x.stop: return; case <-x.kick: }`),
+//     where closing the channel releases every receiver;
 //   - the body is exactly one channel send — the single-shot
 //     result-delivery goroutine (e.g. `go func() { errc <- srv.Serve(ln) }()`),
 //     which terminates after one statement.
@@ -39,7 +43,7 @@ func runGoLeak(p *GlobalPass) {
 				}
 				if lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
 					if !goroutineBounded(pkg.Info, lit.Body) {
-						p.Reportf(pkg, g.Pos(), "goroutine has no provable exit: tie it to a sync.WaitGroup, a channel-range loop, or <-ctx.Done()")
+						p.Reportf(pkg, g.Pos(), "goroutine has no provable exit: tie it to a sync.WaitGroup, a channel-range loop, <-ctx.Done(), or a close-managed stop channel")
 					}
 					return true
 				}
@@ -50,7 +54,7 @@ func runGoLeak(p *GlobalPass) {
 					return true
 				}
 				if !goroutineBounded(node.Pkg.Info, node.Decl.Body) {
-					p.Reportf(pkg, g.Pos(), "goroutine %s has no provable exit: tie it to a sync.WaitGroup, a channel-range loop, or <-ctx.Done()", node.Name())
+					p.Reportf(pkg, g.Pos(), "goroutine %s has no provable exit: tie it to a sync.WaitGroup, a channel-range loop, <-ctx.Done(), or a close-managed stop channel", node.Name())
 				}
 				return true
 			})
@@ -83,17 +87,44 @@ func goroutineBounded(info *types.Info, body *ast.BlockStmt) bool {
 				}
 			}
 		case *ast.UnaryExpr:
+			if x.Op.String() != "<-" {
+				break
+			}
 			// A receive from ctx.Done() anywhere in the body (select case
 			// or bare wait) counts as cancellable.
-			if call, isCall := ast.Unparen(x.X).(*ast.CallExpr); isCall && x.Op.String() == "<-" {
+			if call, isCall := ast.Unparen(x.X).(*ast.CallExpr); isCall {
 				if isMethodOn(info, call, "context", "Context", "Done") {
 					bounded = true
 				}
+				break
+			}
+			// A receive from a `chan struct{}` is the stop-channel
+			// shutdown idiom: the owner closes the channel and every
+			// receiver unblocks. Data channels carry payloads, so the
+			// empty element type is what distinguishes a lifecycle signal
+			// from a drain loop that might never see a close.
+			if isStopChanRecv(info, x.X) {
+				bounded = true
 			}
 		}
 		return !bounded
 	})
 	return bounded
+}
+
+// isStopChanRecv reports whether expr is a receivable channel of empty
+// structs — the conventional stop/quit signal type.
+func isStopChanRecv(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ch, isChan := tv.Type.Underlying().(*types.Chan)
+	if !isChan || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, isStruct := ch.Elem().Underlying().(*types.Struct)
+	return isStruct && st.NumFields() == 0
 }
 
 // isMethodOn reports whether call invokes method name on the named type

@@ -84,3 +84,42 @@ func allowed(f func()) {
 	//lint:allow goleak pump bound to the process lifetime on purpose
 	go f()
 }
+
+type optimizer struct {
+	stop chan struct{}
+	kick chan struct{}
+}
+
+func (o *optimizer) run(work func() bool) {
+	go func() { // close-managed stop channel: ok
+		for {
+			select {
+			case <-o.stop:
+				return
+			case <-o.kick:
+			}
+			for work() {
+			}
+		}
+	}()
+}
+
+func stoppableNamed(stop chan struct{}) {
+	go waitForStop(stop) // named target receiving from a stop channel: ok
+}
+
+func waitForStop(stop chan struct{}) {
+	<-stop
+}
+
+func dataChanSpin(payload chan int) {
+	go func() { // want "no provable exit"
+		for {
+			select {
+			case v := <-payload:
+				_ = v
+			default:
+			}
+		}
+	}()
+}

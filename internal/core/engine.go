@@ -414,6 +414,14 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 	case RandIS:
 		entry = pseudoRandomEntry(q, len(e.DB))
 	}
+	// Every strategy can land on a compacted tombstone — cluster members
+	// and the pseudo-random pick are not dead-filtered — and such a husk
+	// is edgeless: routing seeded there would end with no live candidate
+	// ever evaluated. The HNSW entry is kept live and wired by the write
+	// path (rescue on Compact), so fall back to it.
+	if len(e.Index.PG.Adj[entry]) == 0 {
+		entry = e.Index.Entry
+	}
 	stats.ModelTime += time.Since(modelStart) - distInModels
 	stats.InitNDC = cache.NDC()
 	stats.InitTime = time.Since(start)

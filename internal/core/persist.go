@@ -50,12 +50,30 @@ type snapshot struct {
 	// snapshots written before this field (or with it stripped) load fine
 	// — the embeddings are recomputed from the parameters at Load.
 	MrkNodeEmb [][]float64 `json:"mrk_node_emb,omitempty"`
+
+	// Mutation state (format version 2). An engine that was never
+	// mutated serializes as version 1 without these fields, so
+	// pre-mutation readers keep loading it.
+	Epoch uint64   `json:"epoch,omitempty"`
+	Born  []uint64 `json:"born,omitempty"`
+	Died  []uint64 `json:"died,omitempty"`
 }
+
+// maxSnapshotVersion is the newest snapshot format this build can read:
+// 1 is the original immutable form, 2 adds mutation state (epoch +
+// per-graph validity stamps).
+const maxSnapshotVersion = 2
 
 // Save serializes everything needed to answer queries later: the
 // proximity graph, the calibration, the clustering, and all trained model
 // parameters. The database and the GED metrics are re-supplied at Load.
-func (e *Engine) Save(w io.Writer) error {
+func (e *Engine) Save(w io.Writer) error { return e.SaveWithState(w, nil) }
+
+// SaveWithState is Save carrying the mutable index's write-path state.
+// A nil st (or one that never mutated: epoch 0) writes the version-1
+// form, byte-compatible with pre-mutation readers; otherwise the
+// snapshot is version 2 and includes the epoch and validity stamps.
+func (e *Engine) SaveWithState(w io.Writer, st *MutationState) error {
 	s := snapshot{
 		Version:   1,
 		GammaStar: e.GammaStar,
@@ -73,6 +91,12 @@ func (e *Engine) Save(w io.Writer) error {
 		Centroids:  e.Mc.Clusters().Centroids,
 		Assign:     e.Mc.Clusters().Assign,
 		MrkNodeEmb: e.Mrk.NodeEmbeddings(),
+	}
+	if st != nil && st.Epoch > 0 {
+		s.Version = 2
+		s.Epoch = st.Epoch
+		s.Born = st.Born
+		s.Died = st.Died
 	}
 	var err error
 	if s.MrkParams, err = marshalParams(e.Mrk.Params); err != nil {
@@ -103,18 +127,34 @@ type paramsSaver interface {
 // Load reconstructs a saved engine over db. opts supplies the metrics
 // (and may override UseCG); all shape options come from the snapshot.
 func Load(db graph.Database, r io.Reader, opts Options) (*Engine, error) {
+	e, _, _, err := LoadWithState(db, r, opts)
+	return e, err
+}
+
+// LoadWithState is Load that also returns the snapshot's mutation state
+// (nil for version-1 snapshots, which predate the write path) and the
+// format version it was stored at. Unknown future versions are rejected
+// with a clear error instead of a garbage decode.
+func LoadWithState(db graph.Database, r io.Reader, opts Options) (*Engine, *MutationState, int, error) {
 	if err := db.Validate(); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: load: %w", err)
 	}
 	var s snapshot
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: load: %w", err)
 	}
-	if s.Version != 1 {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", s.Version)
+	if s.Version < 1 || s.Version > maxSnapshotVersion {
+		return nil, nil, 0, fmt.Errorf("core: unsupported snapshot version %d (this build reads versions 1-%d)", s.Version, maxSnapshotVersion)
+	}
+	var st *MutationState
+	if s.Version >= 2 {
+		if len(s.Born) != len(s.Adj) || len(s.Died) != len(s.Adj) {
+			return nil, nil, 0, fmt.Errorf("core: load: %d/%d validity stamps for %d graphs", len(s.Born), len(s.Died), len(s.Adj))
+		}
+		st = &MutationState{Epoch: s.Epoch, Born: s.Born, Died: s.Died}
 	}
 	if len(s.Adj) != len(db) {
-		return nil, fmt.Errorf("core: snapshot indexes %d graphs, database has %d", len(s.Adj), len(db))
+		return nil, nil, 0, fmt.Errorf("core: snapshot indexes %d graphs, database has %d", len(s.Adj), len(db))
 	}
 	opts.M = s.M
 	opts.Layers, opts.Dim = s.Layers, s.Dim
@@ -132,7 +172,7 @@ func Load(db graph.Database, r io.Reader, opts Options) (*Engine, error) {
 		Entry: s.Entry,
 	}
 	if err := idx.PG.Validate(); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: load: %w", err)
 	}
 
 	store := models.NewCGStore(db, opts.Layers, opts.UseCG)
@@ -144,18 +184,18 @@ func Load(db graph.Database, r io.Reader, opts Options) (*Engine, error) {
 
 	e.Mrk = models.NewNeighborRanker(mcfg, store)
 	if err := e.Mrk.Params.Load(bytesReader(s.MrkParams)); err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	if s.MrkNodeEmb != nil {
 		if err := e.Mrk.SetNodeEmbeddings(s.MrkNodeEmb, len(db)); err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 	} else {
 		e.Mrk.PrecomputeNodeEmbeddings(db, opts.Workers)
 	}
 	e.Mnh = models.NewNeighborhoodModel(mcfg, store)
 	if err := e.Mnh.Params.Load(bytesReader(s.MnhParams)); err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 
 	km := &cluster.KMeans{Centroids: s.Centroids, Assign: s.Assign, Members: make([][]int, len(s.Centroids))}
@@ -165,9 +205,9 @@ func Load(db graph.Database, r io.Reader, opts Options) (*Engine, error) {
 	emb := cluster.NewFeatureEmbedder(db)
 	e.Mc = models.NewClusterModel(mcfg, emb, km)
 	if err := e.Mc.Params.Load(bytesReader(s.McParams)); err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
-	return e, nil
+	return e, st, s.Version, nil
 }
 
 func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

@@ -12,6 +12,8 @@ import (
 
 	"github.com/lansearch/lan/internal/core"
 	"github.com/lansearch/lan/internal/dataset"
+	"github.com/lansearch/lan/internal/models"
+	"github.com/lansearch/lan/internal/mutable"
 	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/pg"
 )
@@ -82,6 +84,43 @@ type QueryPoint struct {
 	Identical bool `json:"identical"`
 }
 
+// MutatePoint is one dataset's write-path measurement: the database's
+// last quarter streamed into a prefix-built index (per-insert apply
+// latency), the optimizer quiesced, incremental recall compared against
+// the batch-built engine under the model-free strategies (HNSW descent +
+// baseline routing, so the comparison isolates proximity-graph quality),
+// and finally a sweep of soft deletes (per-delete apply latency).
+type MutatePoint struct {
+	Dataset string `json:"dataset"`
+	Graphs  int    `json:"graphs"`
+	Inserts int    `json:"inserts"`
+	Deletes int    `json:"deletes"`
+	// Apply latencies are wall times of Index.Insert / Index.Delete —
+	// snapshot publication included, background optimization excluded.
+	InsertP50us    float64 `json:"insert_p50_us"`
+	InsertP99us    float64 `json:"insert_p99_us"`
+	DeleteP50us    float64 `json:"delete_p50_us"`
+	DeleteP99us    float64 `json:"delete_p99_us"`
+	QuiesceSeconds float64 `json:"quiesce_seconds"`
+	// Recall at the protocol's K over the test workload, ground truth
+	// shared with the read-path points.
+	BatchRecall       float64 `json:"batch_recall"`
+	IncrementalRecall float64 `json:"incremental_recall"`
+	FinalEpoch        uint64  `json:"final_epoch"`
+}
+
+// MutationMetrics snapshots the process-wide write-path counters
+// (internal/obs) after the benchmark ran; like RoutingMetrics they
+// describe the whole process, not one dataset.
+type MutationMetrics struct {
+	InsertsTotal         uint64  `json:"inserts_total"`
+	DeletesTotal         uint64  `json:"deletes_total"`
+	OptimizerPassesTotal uint64  `json:"optimizer_passes_total"`
+	ApplyCount           uint64  `json:"apply_count"`
+	ApplyMeanSeconds     float64 `json:"apply_mean_seconds"`
+	ApplyP99Seconds      float64 `json:"apply_p99_seconds"`
+}
+
 // RoutingMetrics snapshots the process-wide observability counters
 // (internal/obs) after the benchmark ran: every search of the run —
 // figures, tables and the summary legs alike — contributes, so the
@@ -103,17 +142,32 @@ type RoutingMetrics struct {
 // one query-speedup point per dataset. GeneratedAt is stamped by the
 // caller (lan-bench) at write time.
 type BenchReport struct {
-	GeneratedAt string         `json:"generated_at,omitempty"`
-	Scale       float64        `json:"scale"`
-	K           int            `json:"k"`
-	Dim         int            `json:"dim"`
-	Epochs      int            `json:"epochs"`
-	Workers     int            `json:"workers"`
-	Seed        int64          `json:"seed"`
-	Points      []BenchPoint   `json:"points"`
-	Builds      []BuildPoint   `json:"builds"`
-	QueryPoints []QueryPoint   `json:"query_points"`
-	Routing     RoutingMetrics `json:"routing_metrics"`
+	GeneratedAt  string          `json:"generated_at,omitempty"`
+	Scale        float64         `json:"scale"`
+	K            int             `json:"k"`
+	Dim          int             `json:"dim"`
+	Epochs       int             `json:"epochs"`
+	Workers      int             `json:"workers"`
+	Seed         int64           `json:"seed"`
+	Points       []BenchPoint    `json:"points"`
+	Builds       []BuildPoint    `json:"builds"`
+	QueryPoints  []QueryPoint    `json:"query_points"`
+	MutatePoints []MutatePoint   `json:"mutate_points"`
+	Routing      RoutingMetrics  `json:"routing_metrics"`
+	Mutation     MutationMetrics `json:"mutation_metrics"`
+}
+
+// snapshotMutationMetrics reads the process-wide write-path counters.
+func snapshotMutationMetrics() MutationMetrics {
+	m := obs.Mutate()
+	return MutationMetrics{
+		InsertsTotal:         m.Inserts.Value(),
+		DeletesTotal:         m.Deletes.Value(),
+		OptimizerPassesTotal: m.OptimizerPasses.Value(),
+		ApplyCount:           m.ApplySeconds.Count(),
+		ApplyMeanSeconds:     m.ApplySeconds.Mean(),
+		ApplyP99Seconds:      m.ApplySeconds.Quantile(0.99),
+	}
 }
 
 // snapshotRoutingMetrics reads the process-wide query counters.
@@ -158,9 +212,90 @@ func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
 			// distances per step, i.e. where the pool has work to share.
 			rep.QueryPoints = append(rep.QueryPoints, queryPoint(env, p.Beams[len(p.Beams)-1]))
 		}
+		mp, err := mutatePoint(env)
+		if err != nil {
+			return nil, err
+		}
+		rep.MutatePoints = append(rep.MutatePoints, mp)
 	}
 	rep.Routing = snapshotRoutingMetrics()
+	rep.Mutation = snapshotMutationMetrics()
 	return rep, nil
+}
+
+// mutatePoint builds the dataset's index over the first three quarters of
+// the database, streams the last quarter in through the write path, and
+// measures apply latencies, quiesce time and the batch-vs-incremental
+// recall gap, then sweeps soft deletes over one in eight graphs.
+func mutatePoint(env *Env) (MutatePoint, error) {
+	p := env.Protocol
+	db := env.DB
+	prefix := len(db) * 3 / 4
+	eng, err := core.Build(db[:prefix], env.Train, core.Options{
+		M: 6, Dim: p.Dim, GammaKNN: 2 * p.K,
+		BuildMetric: p.buildMetric(),
+		QueryMetric: p.QueryMetric,
+		Train:       models.TrainOptions{Epochs: p.TrainEpochs, LR: 0.01},
+		Workers:     p.Workers,
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return MutatePoint{}, fmt.Errorf("experiments: %s prefix build: %w", env.Spec.Name, err)
+	}
+	x, err := mutable.New(eng, nil, 0)
+	if err != nil {
+		return MutatePoint{}, err
+	}
+	defer x.Close()
+
+	insLat := make([]float64, 0, len(db)-prefix) // microseconds
+	for _, g := range db[prefix:] {
+		start := time.Now()
+		if _, err := x.Insert(g); err != nil {
+			return MutatePoint{}, fmt.Errorf("experiments: %s insert: %w", env.Spec.Name, err)
+		}
+		insLat = append(insLat, float64(time.Since(start).Microseconds()))
+	}
+	quiesceStart := time.Now()
+	x.Quiesce()
+	quiesce := time.Since(quiesceStart).Seconds()
+
+	beam := 2 * p.K
+	if len(p.Beams) > 0 {
+		beam = p.Beams[len(p.Beams)-1]
+	}
+	so := core.SearchOptions{K: p.K, Beam: beam, Initial: core.HNSWIS, Routing: core.BaselineRoute}
+	snap := x.Snapshot()
+	var batch, incr float64
+	for i, q := range env.Test {
+		bres, _ := env.Engine.Search(q, so)
+		ires, _ := snap.Engine.Search(q, so)
+		batch += dataset.Recall(bres, env.Truth[i].Results)
+		incr += dataset.Recall(ires, env.Truth[i].Results)
+	}
+	n := float64(len(env.Test))
+
+	delLat := make([]float64, 0, len(db)/8+1) // microseconds
+	for id := 0; id < len(db); id += 8 {
+		start := time.Now()
+		if err := x.Delete(id); err != nil {
+			return MutatePoint{}, fmt.Errorf("experiments: %s delete: %w", env.Spec.Name, err)
+		}
+		delLat = append(delLat, float64(time.Since(start).Microseconds()))
+	}
+	x.Quiesce()
+
+	return MutatePoint{
+		Dataset: env.Spec.Name, Graphs: len(db),
+		Inserts: len(insLat), Deletes: len(delLat),
+		InsertP50us:    percentile(insLat, 0.5),
+		InsertP99us:    percentile(insLat, 0.99),
+		DeleteP50us:    percentile(delLat, 0.5),
+		DeleteP99us:    percentile(delLat, 0.99),
+		QuiesceSeconds: quiesce,
+		BatchRecall:    batch / n, IncrementalRecall: incr / n,
+		FinalEpoch: x.Epoch(),
+	}, nil
 }
 
 // TraceSamples runs one traced query per dataset (the first test query,

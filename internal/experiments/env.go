@@ -111,6 +111,7 @@ type Env struct {
 	DB       graph.Database
 	Engine   *core.Engine
 	L2       *l2route.Index
+	Train    []*graph.Graph
 	Test     []*graph.Graph
 	Truth    []dataset.GroundTruth
 	// BuildTime is the wall time spent constructing and training the LAN
@@ -147,7 +148,7 @@ func NewEnv(p Protocol, spec dataset.Spec) (*Env, error) {
 	buildTime := time.Since(buildStart)
 
 	truth := dataset.ComputeGroundTruth(db, test, p.QueryMetric, p.K)
-	return &Env{Protocol: p, Spec: spec, DB: db, Engine: eng, L2: l2, Test: test, Truth: truth, BuildTime: buildTime}, nil
+	return &Env{Protocol: p, Spec: spec, DB: db, Engine: eng, L2: l2, Train: train, Test: test, Truth: truth, BuildTime: buildTime}, nil
 }
 
 // Point is one (recall, QPS) measurement of a method at one beam setting.

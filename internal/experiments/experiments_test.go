@@ -172,6 +172,25 @@ func TestBenchReportShape(t *testing.T) {
 	if !bp.Identical {
 		t.Fatalf("parallel build diverged from sequential: %+v", bp)
 	}
+	if len(rep.MutatePoints) != 1 {
+		t.Fatalf("%d mutate points; want 1", len(rep.MutatePoints))
+	}
+	mp := rep.MutatePoints[0]
+	if !strings.HasPrefix(mp.Dataset, "AIDS") || mp.Inserts <= 0 || mp.Deletes <= 0 {
+		t.Fatalf("bad mutate point identity: %+v", mp)
+	}
+	if mp.InsertP50us > mp.InsertP99us || mp.DeleteP50us > mp.DeleteP99us {
+		t.Fatalf("apply latency percentiles out of order: %+v", mp)
+	}
+	if mp.FinalEpoch == 0 {
+		t.Fatalf("mutate point never advanced the epoch: %+v", mp)
+	}
+	if mp.IncrementalRecall < 0 || mp.IncrementalRecall > 1 || mp.BatchRecall < 0 || mp.BatchRecall > 1 {
+		t.Fatalf("recall out of range: %+v", mp)
+	}
+	if rep.Mutation.InsertsTotal == 0 || rep.Mutation.ApplyCount == 0 {
+		t.Fatalf("mutation metrics empty: %+v", rep.Mutation)
+	}
 }
 
 func TestNamesListed(t *testing.T) {

@@ -47,6 +47,34 @@ func NewClusterModel(cfg Config, embedder cluster.Embedder, km *cluster.KMeans) 
 // Clusters exposes the underlying clustering.
 func (m *ClusterModel) Clusters() *cluster.KMeans { return m.clusters }
 
+// WithClusters returns a shallow copy of M_c over a pinned clustering
+// view — how a mutable index's snapshots isolate readers from the
+// writer's membership updates.
+func (m *ClusterModel) WithClusters(km *cluster.KMeans) *ClusterModel {
+	view := *m
+	view.clusters = km
+	return &view
+}
+
+// NearestCentroid returns the cluster whose centroid is closest (L2) to
+// g's feature embedding — how inserted graphs join the fitted
+// clustering without refitting it.
+func (m *ClusterModel) NearestCentroid(g *graph.Graph) int {
+	emb := m.embedder.Embed(g)
+	best, bd := 0, 0.0
+	for c, cen := range m.clusters.Centroids {
+		var d float64
+		for i := range cen {
+			diff := cen[i] - emb[i]
+			d += diff * diff
+		}
+		if c == 0 || d < bd {
+			best, bd = c, d
+		}
+	}
+	return best
+}
+
 // predictValue returns the predicted |C ∩ N_Q| for cluster c as an
 // autograd value (training path).
 func (m *ClusterModel) predictValue(c int, qemb []float64) *autograd.Value {

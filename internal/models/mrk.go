@@ -108,6 +108,28 @@ func (r *NeighborRanker) SetNodeEmbeddings(embs [][]float64, dbSize int) error {
 	return nil
 }
 
+// WithNodeEmbeddings returns a shallow copy of the ranker whose
+// precomputed-embedding table is pinned to embs: the view a mutable
+// index publishes with each snapshot, so concurrent appends to the
+// writer's table never reach readers of an older epoch.
+func (r *NeighborRanker) WithNodeEmbeddings(embs [][]float64) *NeighborRanker {
+	view := *r
+	view.nodeEmbs = embs
+	return &view
+}
+
+// EmbedGraph encodes one graph with the node encoder — the per-insert
+// counterpart of PrecomputeNodeEmbeddings.
+func (r *NeighborRanker) EmbedGraph(g *graph.Graph) []float64 {
+	return r.node.Embed(r.store.For(g))
+}
+
+// AppendNodeEmbedding extends the precomputed table by one inserted
+// graph (ids are append-only, so position == id).
+func (r *NeighborRanker) AppendNodeEmbedding(emb []float64) {
+	r.nodeEmbs = append(r.nodeEmbs, emb)
+}
+
 // nodeEmbedding returns h_G for a graph, served from the precomputed
 // table when the graph is a database member covered by it.
 func (r *NeighborRanker) nodeEmbedding(node *graph.Graph) []float64 {

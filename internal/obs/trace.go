@@ -35,6 +35,9 @@ type Trace struct {
 	// Shards holds the per-shard sub-traces of a sharded search, in shard
 	// order.
 	Shards []*Trace `json:"shards,omitempty"`
+	// Events are write-path events (insert/delete/compact) when the trace
+	// belongs to a mutation rather than a query.
+	Events []TraceEvent `json:"events,omitempty"`
 
 	NDC     int   `json:"ndc"`
 	Results int   `json:"results"`
@@ -64,6 +67,15 @@ type TraceStage struct {
 	Name string `json:"name"`
 	US   int64  `json:"us"`
 	NDC  int    `json:"ndc"`
+}
+
+// TraceEvent is one write-path event: the operation kind ("insert",
+// "delete", "compact"), the graph id it touched, and the index epoch
+// after it applied.
+type TraceEvent struct {
+	Kind  string `json:"kind"`
+	ID    int    `json:"id"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // NewTrace returns an empty trace for the given query id.
@@ -143,6 +155,16 @@ func (t *Trace) Stage(name string, d time.Duration, ndc int) {
 	}
 	t.mu.Lock()
 	t.Stages = append(t.Stages, TraceStage{Name: name, US: d.Microseconds(), NDC: ndc})
+	t.mu.Unlock()
+}
+
+// Event records one write-path event. Nil-safe.
+func (t *Trace) Event(kind string, id int, epoch uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Events = append(t.Events, TraceEvent{Kind: kind, ID: id, Epoch: epoch})
 	t.mu.Unlock()
 }
 

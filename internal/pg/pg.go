@@ -20,6 +20,17 @@ import (
 type PG struct {
 	DB  graph.Database
 	Adj [][]int
+	// Dead marks soft-deleted nodes (validity-epoch tombstones of the
+	// mutable index). Dead nodes stay in the adjacency so routing can
+	// travel through them, but they are filtered out of results. A nil
+	// Dead — every index built by Build — filters nothing.
+	Dead []bool
+}
+
+// Alive reports whether node id may appear in results. Nodes beyond the
+// Dead slice (inserted after the tombstone snapshot was taken) are alive.
+func (p *PG) Alive(id int) bool {
+	return id >= len(p.Dead) || !p.Dead[id]
 }
 
 // Neighbors returns the PG neighbors of node id.

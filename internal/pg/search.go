@@ -28,11 +28,33 @@ type Pool struct {
 	// means unexplored.
 	exploredSeq map[int]int
 	seq         int
+
+	// Survivor tracking (TrackAlive): on indexes with tombstones, the
+	// best surviveK live candidates ever added are kept here, immune to
+	// Resize evictions. Soft-deleted vertices route like any other and
+	// compete for beam slots, so a neighborhood dense with tombstones
+	// could otherwise crowd every live answer out of W before the final
+	// alive filter runs.
+	surviveK  int
+	dead      []bool
+	survivors []Candidate
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool {
 	return &Pool{inW: make(map[int]bool), exploredSeq: make(map[int]int)}
+}
+
+// TrackAlive arms survivor tracking for a query against an index with
+// tombstones: every live candidate added from now on competes for a slot
+// in a k-sized result accumulator that Resize cannot evict from. Must be
+// called before the first Add. A nil dead disarms (no overhead, and
+// TopKAlive stays bit-identical to TopK).
+func (p *Pool) TrackAlive(k int, dead []bool) {
+	if dead == nil || k <= 0 {
+		return
+	}
+	p.surviveK, p.dead = k, dead
 }
 
 // Add inserts id into W unless already present.
@@ -42,6 +64,31 @@ func (p *Pool) Add(id int, dist float64) {
 	}
 	p.inW[id] = true
 	p.items = append(p.items, Candidate{ID: id, Dist: dist})
+	if p.surviveK > 0 && (id >= len(p.dead) || !p.dead[id]) {
+		p.addSurvivor(Candidate{ID: id, Dist: dist})
+	}
+}
+
+// addSurvivor keeps c in the sorted k-best accumulator of live
+// candidates. Candidates evicted from W and re-Added later arrive here
+// again with the same distance (the metric is deterministic), so an
+// existing entry is left alone.
+func (p *Pool) addSurvivor(c Candidate) {
+	pos := sort.Search(len(p.survivors), func(i int) bool {
+		s := p.survivors[i]
+		return !order.ByDistThenID(s.Dist, s.ID, c.Dist, c.ID)
+	})
+	if pos < len(p.survivors) && p.survivors[pos].ID == c.ID {
+		return
+	}
+	if pos >= p.surviveK {
+		return
+	}
+	if len(p.survivors) < p.surviveK {
+		p.survivors = append(p.survivors, Candidate{})
+	}
+	copy(p.survivors[pos+1:], p.survivors[pos:])
+	p.survivors[pos] = c
 }
 
 // MarkExplored stamps id with the next exploration timestamp.
@@ -179,6 +226,30 @@ func (p *Pool) TopK(k int) []Result {
 	return topK(p.items, k)
 }
 
+// TopKAlive is TopK restricted to nodes not marked in dead: soft-deleted
+// vertices route like any other but never surface as answers. A nil dead
+// filters nothing, so the result is bit-identical to TopK on immutable
+// indexes. When TrackAlive armed survivor tracking, the answer comes from
+// the accumulator, which has seen every live candidate the query ever
+// evaluated — including ones tombstone-heavy neighborhoods pushed out of
+// the beam.
+func (p *Pool) TopKAlive(k int, dead []bool) []Result {
+	if dead == nil {
+		return topK(p.items, k)
+	}
+	if p.surviveK > 0 {
+		return topK(p.survivors, k)
+	}
+	alive := make([]Candidate, 0, len(p.items))
+	for _, c := range p.items {
+		if c.ID < len(dead) && dead[c.ID] {
+			continue
+		}
+		alive = append(alive, c)
+	}
+	return topK(alive, k)
+}
+
 // BeamSearch is Algorithm 1: the baseline greedy routing on the proximity
 // graph. It starts at entry, explores the unexplored pool node closest to
 // the query, computes distances for all its PG neighbors, and keeps the
@@ -206,6 +277,7 @@ func BeamSearchContext(ctx context.Context, p *PG, c *DistCache, entry, k, b int
 func BeamSearchPooled(ctx context.Context, p *PG, c *DistCache, entry, k, b int, pool *WorkerPool) ([]Result, Stats, error) {
 	trace := obs.From(ctx)
 	w := NewPool()
+	w.TrackAlive(k, p.Dead)
 	w.Add(entry, c.Dist(entry))
 	trace.SetEntry(entry)
 	explored := 0
@@ -239,7 +311,7 @@ func BeamSearchPooled(ctx context.Context, p *PG, c *DistCache, entry, k, b int,
 		trace.Step(cur.ID, cur.Dist, len(ns), c.NDC()-ndcBefore, -1, c.NDC())
 		w.Resize(b)
 	}
-	return w.TopK(k), Stats{NDC: c.NDC(), Explored: explored}, nil
+	return w.TopKAlive(k, p.Dead), Stats{NDC: c.NDC(), Explored: explored}, nil
 }
 
 // searchLayer is the standard ef-search used during index construction:

@@ -323,6 +323,7 @@ func RouteContext(ctx context.Context, p *pg.PG, cache *pg.DistCache, ranker Ran
 		trace: obs.From(ctx),
 	}
 	r.trace.SetEntry(entry)
+	r.w.TrackAlive(cfg.K, p.Dead)
 
 	// Stage 1 (Lines 1-12): greedy descent without backtracking until the
 	// first local optimum.
@@ -365,5 +366,8 @@ func RouteContext(ctx context.Context, p *pg.PG, cache *pg.DistCache, ranker Ran
 	if r.err != nil {
 		return nil, r.stats, r.err
 	}
-	return r.w.TopK(cfg.K), r.stats, nil
+	// Tombstoned vertices routed like any other; they are dropped only
+	// here, at result assembly (nil Dead on immutable indexes filters
+	// nothing).
+	return r.w.TopKAlive(cfg.K, p.Dead), r.stats, nil
 }

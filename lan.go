@@ -37,6 +37,7 @@ import (
 	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/internal/core"
 	"github.com/lansearch/lan/internal/models"
+	"github.com/lansearch/lan/internal/mutable"
 	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/pg"
 )
@@ -168,11 +169,21 @@ func WithTrace(ctx context.Context, t *Trace) context.Context {
 	return obs.With(ctx, t)
 }
 
-// Index is a built LAN search structure. It is safe for concurrent
-// Search calls only if the configured metrics are (the defaults are).
+// Index is a built LAN search structure. Since the mutable subsystem
+// landed it is also a writable one: Insert and Delete apply streaming
+// updates while searches keep running. It is safe for concurrent use
+// (Search/Insert/Delete from any goroutines) as long as the configured
+// metrics are concurrency-safe (the defaults are): every search pins a
+// point-in-time snapshot, so it sees a frozen index no matter how many
+// writes land mid-query. Indexes that received writes own a background
+// edge-optimizer goroutine — call Close when done with such an index.
 type Index struct {
-	engine *core.Engine
+	mut *mutable.Index
 }
+
+// engine returns the engine view of the current snapshot. Read-only
+// callers only; writers go through x.mut.
+func (x *Index) engine() *core.Engine { return x.mut.Snapshot().Engine }
 
 // Build constructs the proximity graph over db and trains the LAN models
 // on trainQueries (historical queries, or graphs sampled and perturbed
@@ -195,7 +206,11 @@ func Build(db graph.Database, trainQueries []*graph.Graph, o Options) (*Index, e
 	if err != nil {
 		return nil, err
 	}
-	return &Index{engine: eng}, nil
+	mut, err := mutable.New(eng, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{mut: mut}, nil
 }
 
 // Search returns the approximate k nearest neighbors of q.
@@ -209,7 +224,7 @@ func (x *Index) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats, error
 // query within one distance call and returns ctx.Err(). The returned
 // Stats meter the work done up to the cancellation point.
 func (x *Index) SearchContext(ctx context.Context, q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
-	pool := pg.NewWorkerPool(x.engine.Opts.QueryWorkers)
+	pool := pg.NewWorkerPool(x.engine().Opts.QueryWorkers)
 	defer pool.Close()
 	return x.searchPooled(ctx, q, so, pool)
 }
@@ -218,10 +233,20 @@ func (x *Index) SearchContext(ctx context.Context, q *graph.Graph, so SearchOpti
 // the given worker pool (nil = sequential). The sharded fan-out uses it to
 // share a single bounded pool across all shard searches of one query.
 func (x *Index) searchPooled(ctx context.Context, q *graph.Graph, so SearchOptions, pool *pg.WorkerPool) ([]Result, Stats, error) {
+	return snapshotSearch(ctx, x.mut.Snapshot(), q, so, pool)
+}
+
+// snapshotSearch answers one query against a pinned snapshot.
+func snapshotSearch(ctx context.Context, snap *mutable.Snapshot, q *graph.Graph, so SearchOptions, pool *pg.WorkerPool) ([]Result, Stats, error) {
 	if q == nil || so.K <= 0 {
 		return nil, Stats{}, fmt.Errorf("lan: need a query graph and K > 0")
 	}
-	res, stats, err := x.engine.SearchPooled(ctx, q, core.SearchOptions{
+	// Every member tombstoned (a shard drained by deletes, say): there is
+	// nothing to return and no entry node worth routing from.
+	if snap.Live == 0 {
+		return nil, Stats{}, nil
+	}
+	res, stats, err := snap.Engine.SearchPooled(ctx, q, core.SearchOptions{
 		K: so.K, Beam: so.Beam, Initial: so.Initial, Routing: so.Routing,
 	}, pool)
 	if err != nil {
@@ -236,15 +261,24 @@ func (x *Index) searchPooled(ctx context.Context, q *graph.Graph, so SearchOptio
 
 // Save writes the trained index (proximity graph, calibration, clustering
 // and model parameters) to w. The database itself is not included; store
-// it separately (e.g. with graph.WriteText) and re-supply it to Load.
-func (x *Index) Save(w io.Writer) error { return x.engine.Save(w) }
+// it separately (e.g. with graph.WriteText, via Database) and re-supply
+// it to Load — after inserts that means the grown database, not the one
+// Build saw. An index that was never mutated serializes as format
+// version 1, loadable by pre-mutation readers; a mutated one is version
+// 2 and additionally carries the epoch and per-graph validity stamps.
+// Save captures one consistent snapshot: writes landing concurrently
+// are either fully included or fully absent.
+func (x *Index) Save(w io.Writer) error {
+	snap := x.mut.Snapshot()
+	return snap.Engine.SaveWithState(w, snap.State())
+}
 
 // WriteTo implements io.WriterTo: it serializes the index like Save and
 // reports the number of bytes written, so the snapshot composes with
 // io.Copy-style plumbing (files, network conns, hash writers).
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
-	if err := x.engine.Save(cw); err != nil {
+	if err := x.Save(cw); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil
@@ -271,26 +305,124 @@ func ReadIndex(db graph.Database, r io.Reader, o Options) (*Index, error) {
 
 // Load restores an index saved with Save over the same database. The GED
 // metrics are code and must be re-supplied via Options (zero-value
-// defaults match Build's).
+// defaults match Build's). Version-2 snapshots restore the mutation
+// state too: tombstoned graphs stay invisible to searches and the epoch
+// continues where it left off.
 func Load(db graph.Database, r io.Reader, o Options) (*Index, error) {
-	eng, err := core.Load(db, r, core.Options{
+	eng, st, version, err := core.LoadWithState(db, r, core.Options{
 		BuildMetric: o.BuildMetric, QueryMetric: o.QueryMetric,
 		Workers: o.Workers, QueryWorkers: o.QueryWorkers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{engine: eng}, nil
+	mut, err := mutable.New(eng, st, version)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{mut: mut}, nil
 }
 
-// Len returns the number of indexed graphs.
-func (x *Index) Len() int { return len(x.engine.DB) }
+// Len returns the number of live (searchable) graphs: inserts grow it,
+// deletes shrink it. The id space itself only grows — deleted ids are
+// never reused.
+func (x *Index) Len() int { return x.mut.Len() }
 
 // GammaStar returns the calibrated neighborhood radius gamma*.
-func (x *Index) GammaStar() float64 { return x.engine.GammaStar }
+func (x *Index) GammaStar() float64 { return x.engine().GammaStar }
 
-// Graph returns the indexed graph with the given id.
-func (x *Index) Graph(id int) *graph.Graph { return x.engine.DB[id] }
+// Graph returns the indexed graph with the given id (including
+// tombstoned ones — ids stay resolvable forever).
+func (x *Index) Graph(id int) *graph.Graph { return x.engine().DB[id] }
+
+// Database returns the current database view: Build's graphs followed by
+// every insert, tombstoned members included. Persist it alongside Save's
+// snapshot (e.g. with graph.WriteText) and re-supply it to Load.
+func (x *Index) Database() graph.Database { return x.engine().DB }
+
+// Insert adds g to the index and returns its assigned id. The graph is
+// cloned and wired into the proximity graph incrementally — candidate
+// beams, the diversity heuristic and degree caps all match batch
+// construction, and the insertion level derives deterministically from
+// (Seed, id) — then queued for background edge optimization. Cost is a
+// candidate-beam search, not a rebuild; concurrent searches keep
+// serving their pinned snapshots and observe the insert on their next
+// query.
+func (x *Index) Insert(g *graph.Graph) (int, error) { return x.mut.Insert(g) }
+
+// Delete tombstones graph id: it vanishes from results of all
+// subsequent searches, but its vertex keeps routing traffic (soft
+// deletion via validity epochs), so recall around it does not crater.
+// The freed neighborhood is queued for background edge repair; Compact
+// reclaims heavily-deleted graphs' edges in bulk.
+func (x *Index) Delete(id int) error { return x.mut.Delete(id) }
+
+// Compact detaches tombstoned vertices from the proximity graph,
+// bridging their live neighbors so routes through them survive. Ids
+// never shift. Returns the number of vertices detached.
+func (x *Index) Compact() (int, error) { return x.mut.Compact() }
+
+// Quiesce synchronously drains the pending edge-optimization work.
+// After it returns (absent concurrent writes), search quality matches
+// what the background optimizer would eventually converge to.
+func (x *Index) Quiesce() { x.mut.Quiesce() }
+
+// Close stops the background edge optimizer (started lazily by the
+// first write) and waits for it to exit. Reads keep working; writes are
+// rejected afterwards. Indexes that never received a write hold no
+// goroutine, and Close is then a no-op. Safe to call more than once.
+func (x *Index) Close() error { return x.mut.Close() }
+
+// Epoch returns the index's mutation epoch: 0 for a never-mutated
+// index, incremented by every applied insert, delete, compaction and
+// optimizer pass. Result caches keyed by query content should fold the
+// epoch into their keys — see lan-serve — so entries expire exactly
+// when the index changes.
+func (x *Index) Epoch() uint64 { return x.mut.Epoch() }
+
+// FormatVersion reports the snapshot format version: the version the
+// index was loaded from, or for in-memory indexes the version Save
+// would write now (1 until the first mutation, 2 after).
+func (x *Index) FormatVersion() int {
+	if v := x.mut.LoadedVersion(); v > 0 {
+		return v
+	}
+	if x.mut.Epoch() > 0 {
+		return 2
+	}
+	return 1
+}
+
+// IndexSnapshot is a pinned point-in-time read view of an Index.
+// Searches against it return bit-identical results, stats and NDC for
+// the snapshot's whole lifetime, no matter what writes land on the
+// parent index — the serving-side primitive for consistent reads.
+type IndexSnapshot struct {
+	snap *mutable.Snapshot
+}
+
+// Snapshot pins the current state of the index for isolated reads.
+func (x *Index) Snapshot() *IndexSnapshot {
+	return &IndexSnapshot{snap: x.mut.Snapshot()}
+}
+
+// Epoch returns the mutation epoch this snapshot was published at.
+func (s *IndexSnapshot) Epoch() uint64 { return s.snap.Epoch }
+
+// Len returns the number of live graphs in this snapshot.
+func (s *IndexSnapshot) Len() int { return s.snap.Live }
+
+// Search answers a query against the pinned state.
+func (s *IndexSnapshot) Search(q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
+	return s.SearchContext(context.Background(), q, so)
+}
+
+// SearchContext is Search with cancellation, against the pinned state.
+func (s *IndexSnapshot) SearchContext(ctx context.Context, q *graph.Graph, so SearchOptions) ([]Result, Stats, error) {
+	pool := pg.NewWorkerPool(s.snap.Engine.Opts.QueryWorkers)
+	defer pool.Close()
+	return snapshotSearch(ctx, s.snap, q, so, pool)
+}
 
 func trainOptions(o Options) (t models.TrainOptions) {
 	t.Epochs = o.Epochs

@@ -11,10 +11,13 @@ import (
 // resultCache is a fixed-capacity LRU over finished search responses.
 //
 // Keys are the query graph's canonical Weisfeiler-Lehman hash (graph.Hash)
-// joined with the search parameters, so two structurally identical queries
-// — regardless of node ordering — share an entry. A LAN index is immutable
-// after Build, which makes the cache invalidation-free: an entry can only
-// become wrong if the index changes, and it never does. The WL hash is a
+// joined with the search parameters and the index epoch, so two
+// structurally identical queries — regardless of node ordering — share an
+// entry. The epoch component makes invalidation lazy: every applied write
+// bumps the index epoch, orphaning all earlier entries (lookups never see
+// them again; the LRU evicts them in due course) without any sweep or
+// coordination with the write path. An index that does not expose an
+// epoch keys everything at 0 and must stay immutable. The WL hash is a
 // complete isomorphism test only up to WL-equivalence at the configured
 // refinement depth; graphs that WL cannot distinguish at that depth would
 // share an entry, which is the standard (and in labeled ANN workloads
@@ -38,10 +41,10 @@ func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// cacheKey derives the canonical key of one (query, parameters) pair.
-// wlDepth is the WL refinement depth of the hash.
-func cacheKey(q *graph.Graph, wlDepth int, so searchParams) string {
-	return fmt.Sprintf("%s|k=%d|b=%d|r=%d|i=%d", graph.Hash(q, wlDepth), so.K, so.Beam, so.Routing, so.Initial)
+// cacheKey derives the canonical key of one (query, parameters, index
+// version) triple. wlDepth is the WL refinement depth of the hash.
+func cacheKey(q *graph.Graph, wlDepth int, epoch uint64, so searchParams) string {
+	return fmt.Sprintf("%s|k=%d|b=%d|r=%d|i=%d|e=%d", graph.Hash(q, wlDepth), so.K, so.Beam, so.Routing, so.Initial, epoch)
 }
 
 // get returns the cached response for key and refreshes its recency.

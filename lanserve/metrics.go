@@ -37,6 +37,9 @@ type Metrics struct {
 	ndc     *obs.Histogram // GED computations per (uncached) query
 	steps   *obs.Histogram // routing steps (explored PG nodes) per query
 	pruning *obs.Histogram // 1 - NDC/|DB| per query
+
+	writes       *obs.CounterVec // /insert + /delete requests by op
+	writeLatency *obs.Histogram  // seconds, applied-write wall time
 }
 
 func newMetrics() *Metrics {
@@ -44,7 +47,7 @@ func newMetrics() *Metrics {
 	return &Metrics{
 		reg:      r,
 		requests: r.Counter("lanserve_requests_total", "Search requests received."),
-		errors:   r.CounterVec("lanserve_errors_total", "Non-200 search responses by status code.", "code"),
+		errors:   r.CounterVec("lanserve_errors_total", "Non-200 responses by status code.", "code"),
 		rejected: r.Counter("lanserve_rejected_total", "Requests refused with 429 (admission queue full)."),
 		timeouts: r.Counter("lanserve_timeouts_total", "Requests that exceeded their deadline (504)."),
 		panics:   r.Counter("lanserve_panics_total", "Recovered handler panics."),
@@ -62,11 +65,22 @@ func newMetrics() *Metrics {
 		ndc:     r.Histogram("lanserve_query_ndc", "GED computations (NDC) per executed query.", obs.ExpBuckets(1, 2, 14)),
 		steps:   r.Histogram("lanserve_query_routing_steps", "Routing steps (explored PG nodes) per executed query.", obs.ExpBuckets(1, 2, 12)),
 		pruning: r.Histogram("lanserve_query_pruning_rate", "Fraction of the database whose GED was never computed, per executed query.", obs.LinBuckets(0.1, 0.1, 9)),
+
+		// 10us..10s: an insert extends the HNSW (a bounded beam search per
+		// layer), a delete only stamps a tombstone.
+		writes:       r.CounterVec("lanserve_write_requests_total", "Write requests received by operation (insert, delete).", "op"),
+		writeLatency: r.Histogram("lanserve_write_seconds", "Applied-write wall time in seconds.", obs.ExpBuckets(1e-5, 4, 11)),
 	}
 }
 
 // Request counts one admitted /search request.
 func (m *Metrics) Request() { m.requests.Inc() }
+
+// Write counts one /insert or /delete request by operation.
+func (m *Metrics) Write(op string) { m.writes.With(op).Inc() }
+
+// ObserveWrite records one applied write's wall time in seconds.
+func (m *Metrics) ObserveWrite(seconds float64) { m.writeLatency.Observe(seconds) }
 
 // Error counts one non-200 response with its status code.
 func (m *Metrics) Error(code int) {

@@ -9,6 +9,8 @@
 // Endpoints:
 //
 //	POST /search   — answer one k-ANN query (JSON in/out)
+//	POST /insert   — add one graph to the index (requires Config.Writer)
+//	POST /delete   — tombstone one graph by id (requires Config.Writer)
 //	GET  /metrics  — Prometheus text exposition
 //	GET  /healthz  — process liveness (always 200)
 //	GET  /readyz   — readiness; 503 while draining
@@ -45,12 +47,26 @@ const (
 
 // Searcher is the index the server fronts. Both *lan.Index and
 // *lan.ShardedIndex implement it. Implementations must be safe for
-// concurrent SearchContext calls (the defaults are) and immutable for the
-// server's lifetime — the result cache relies on immutability for its
-// invalidation-free design.
+// concurrent SearchContext calls (the defaults are). An index that also
+// exposes Epoch() uint64 (both defaults do) may mutate between queries:
+// the result cache folds the epoch into its keys, so entries computed
+// against a superseded index version are never served again and simply
+// age out of the LRU. An index without Epoch must stay immutable for the
+// server's lifetime.
 type Searcher interface {
 	SearchContext(ctx context.Context, q *graph.Graph, so lan.SearchOptions) ([]lan.Result, lan.Stats, error)
 	Len() int
+}
+
+// Mutable is the write interface of an index that accepts streaming
+// updates. *lan.Index implements it; snapshot-isolated reads mean a
+// server may point Config.Index and Config.Writer at the same value and
+// serve searches while writes land.
+type Mutable interface {
+	// Insert adds one graph and returns its assigned id.
+	Insert(g *graph.Graph) (int, error)
+	// Delete tombstones the graph with the given id.
+	Delete(id int) error
 }
 
 // Config configures a Server. Index is required; every other field has a
@@ -58,6 +74,15 @@ type Searcher interface {
 type Config struct {
 	// Index is the built index to serve (required).
 	Index Searcher
+	// Writer, when set, enables POST /insert and /delete. It is normally
+	// the same *lan.Index as Index — snapshot isolation keeps concurrent
+	// searches consistent while writes land. Nil leaves the server
+	// read-only: the write endpoints answer 501.
+	Writer Mutable
+	// WriteQueueDepth caps concurrent write requests; requests beyond it
+	// are refused with 429 (default 8). Writes serialize on the index's
+	// write lock, so the queue bounds write-path memory, not throughput.
+	WriteQueueDepth int
 	// Workers caps concurrently executing searches (default GOMAXPROCS).
 	Workers int
 	// QueueDepth caps admitted-but-waiting searches beyond Workers;
@@ -125,10 +150,14 @@ func (c *Config) defaults() error {
 	if c.TraceRing == 0 {
 		c.TraceRing = 8
 	}
+	if c.WriteQueueDepth <= 0 {
+		c.WriteQueueDepth = 8
+	}
 	return nil
 }
 
-// Server serves k-ANN queries over one immutable index.
+// Server serves k-ANN queries — and, with Config.Writer, streaming
+// writes — over one index.
 type Server struct {
 	cfg     Config
 	pool    *workerPool
@@ -139,6 +168,12 @@ type Server struct {
 	queryID atomic.Uint64
 	handler http.Handler
 	ready   atomic.Bool
+
+	// epoch resolves the index's current version for cache keying; nil
+	// when the index does not expose one (then it must be immutable).
+	epoch func() uint64
+	// writeSlots is the write-admission semaphore (cap WriteQueueDepth).
+	writeSlots chan struct{}
 }
 
 // New validates cfg, applies defaults and returns a ready-to-serve Server.
@@ -148,17 +183,23 @@ func New(cfg Config) (*Server, error) {
 	}
 	obs.RegisterProcess()
 	s := &Server{
-		cfg:     cfg,
-		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheSize),
-		flights: newFlightGroup(),
-		metrics: newMetrics(),
-		ring:    obs.NewTraceRing(cfg.TraceRing),
+		cfg:        cfg,
+		pool:       newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		cache:      newResultCache(cfg.CacheSize),
+		flights:    newFlightGroup(),
+		metrics:    newMetrics(),
+		ring:       obs.NewTraceRing(cfg.TraceRing),
+		writeSlots: make(chan struct{}, cfg.WriteQueueDepth),
+	}
+	if ep, ok := cfg.Index.(interface{ Epoch() uint64 }); ok {
+		s.epoch = ep.Epoch
 	}
 	s.ready.Store(true)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace/last", s.handleTraceLast)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -362,10 +403,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Cache lookup before admission: hits cost no worker and no GED.
+	// Cache lookup before admission: hits cost no worker and no GED. The
+	// key carries the index epoch, so entries computed before a write are
+	// dead letters afterwards (lazy invalidation — they age out of the
+	// LRU instead of being swept).
 	var key string
 	if s.cache != nil {
-		key = cacheKey(req.Query, s.cfg.WLDepth, params)
+		key = cacheKey(req.Query, s.cfg.WLDepth, s.indexEpoch(), params)
 		if !req.NoCache {
 			if resp, ok := s.cache.get(key); ok {
 				s.metrics.Cache(true)
@@ -523,6 +567,142 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ObserveQuery(stats.NDC, stats.Explored, indexSize)
 	s.metrics.ObserveLatency(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// indexEpoch returns the index's current version, 0 when the index does
+// not expose one (immutable by contract, so 0 is a stable key).
+func (s *Server) indexEpoch() uint64 {
+	if s.epoch == nil {
+		return 0
+	}
+	return s.epoch()
+}
+
+// InsertRequest is the JSON body of POST /insert.
+type InsertRequest struct {
+	// Graph is the graph to add ({"labels": [...], "edges": [[u,v], ...]}).
+	Graph *graph.Graph `json:"graph"`
+}
+
+// InsertResponse is the JSON body of a successful /insert.
+type InsertResponse struct {
+	// ID is the new graph's index-assigned id, usable in /delete and
+	// matching the ids /search returns.
+	ID int `json:"id"`
+	// Epoch is the index version after the insert.
+	Epoch uint64 `json:"epoch"`
+}
+
+// DeleteRequest is the JSON body of POST /delete.
+type DeleteRequest struct {
+	// ID is the id of the graph to tombstone.
+	ID int `json:"id"`
+}
+
+// DeleteResponse is the JSON body of a successful /delete.
+type DeleteResponse struct {
+	// Epoch is the index version after the delete.
+	Epoch uint64 `json:"epoch"`
+}
+
+// admitWrite claims a write slot, failing the request when Writer is
+// unset (501) or the write queue is full (429). The returned release is
+// nil exactly when admission failed (the response has been written).
+func (s *Server) admitWrite(w http.ResponseWriter, r *http.Request, op string) func() {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return nil
+	}
+	s.metrics.Write(op)
+	if s.cfg.Writer == nil {
+		s.metrics.Error(http.StatusNotImplemented)
+		writeJSONError(w, http.StatusNotImplemented, "read-only server: no writer configured")
+		return nil
+	}
+	select {
+	case s.writeSlots <- struct{}{}:
+		return func() { <-s.writeSlots }
+	default:
+		s.metrics.Error(statusTooManyRequests)
+		writeJSONError(w, statusTooManyRequests, "write queue full")
+		return nil
+	}
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	release := s.admitWrite(w, r, "insert")
+	if release == nil {
+		return
+	}
+	defer release()
+	start := time.Now()
+
+	var req InsertRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.Error(http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Graph == nil || req.Graph.N() == 0 {
+		s.metrics.Error(http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, "need a non-empty graph")
+		return
+	}
+
+	id, err := s.cfg.Writer.Insert(req.Graph)
+	if err != nil {
+		s.metrics.Error(http.StatusBadRequest)
+		s.logf("insert: %v", err)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	epoch := s.indexEpoch()
+	s.recordWrite("insert", id, epoch, time.Since(start))
+	writeJSON(w, http.StatusOK, &InsertResponse{ID: id, Epoch: epoch})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	release := s.admitWrite(w, r, "delete")
+	if release == nil {
+		return
+	}
+	defer release()
+	start := time.Now()
+
+	var req DeleteRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.Error(http.StatusBadRequest)
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+
+	if err := s.cfg.Writer.Delete(req.ID); err != nil {
+		// "no graph with id" and double deletes are caller mistakes, not
+		// server faults.
+		s.metrics.Error(http.StatusBadRequest)
+		s.logf("delete: %v", err)
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	epoch := s.indexEpoch()
+	s.recordWrite("delete", req.ID, epoch, time.Since(start))
+	writeJSON(w, http.StatusOK, &DeleteResponse{Epoch: epoch})
+}
+
+// recordWrite stamps one applied write into the metrics and, when
+// tracing is on, the /debug/trace/last ring (as a trace holding a single
+// write event — searches and writes interleave there in arrival order).
+func (s *Server) recordWrite(op string, id int, epoch uint64, took time.Duration) {
+	s.metrics.ObserveWrite(took.Seconds())
+	if s.ring == nil {
+		return
+	}
+	qt := obs.NewTrace("w" + strconv.FormatUint(s.queryID.Add(1), 10))
+	qt.Event(op, id, epoch)
+	s.ring.Add(qt)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -73,16 +73,16 @@ func TestCacheKeyCanonicalUnderNodeReordering(t *testing.T) {
 	g3.MustAddEdge(1, 2)
 
 	p := searchParams{K: 5, Beam: 10}
-	k1 := cacheKey(g1, 2, p)
-	k2 := cacheKey(g2, 2, p)
-	k3 := cacheKey(g3, 2, p)
+	k1 := cacheKey(g1, 2, 0, p)
+	k2 := cacheKey(g2, 2, 0, p)
+	k3 := cacheKey(g3, 2, 0, p)
 	if k1 != k2 {
 		t.Fatalf("isomorphic queries got distinct keys:\n%s\n%s", k1, k2)
 	}
 	if k1 == k3 {
 		t.Fatalf("distinct queries share a key: %s", k1)
 	}
-	if kp := cacheKey(g1, 2, searchParams{K: 6, Beam: 10}); kp == k1 {
+	if kp := cacheKey(g1, 2, 0, searchParams{K: 6, Beam: 10}); kp == k1 {
 		t.Fatal("different k shares a key")
 	}
 }

@@ -21,7 +21,7 @@ func testFlight(s *Server) *flight {
 	q.AddNode("A")
 	q.AddNode("B")
 	q.MustAddEdge(0, 1)
-	key := cacheKey(q, s.cfg.WLDepth, searchParams{
+	key := cacheKey(q, s.cfg.WLDepth, s.indexEpoch(), searchParams{
 		K: 2, Beam: 2, Routing: lan.LANRoute, Initial: lan.LANIS,
 	})
 	s.flights.mu.Lock()

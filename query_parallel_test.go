@@ -80,7 +80,7 @@ func TestShardedQueryWorkersBitIdentical(t *testing.T) {
 
 	setQueryWorkers := func(n int) {
 		for _, shard := range sharded.shards {
-			shard.engine.Opts.QueryWorkers = n
+			shard.engine().Opts.QueryWorkers = n
 		}
 	}
 	for _, q := range queries[:3] {

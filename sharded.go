@@ -87,14 +87,69 @@ func (s *ShardedIndex) queryWorkers() int {
 	if len(s.shards) == 0 {
 		return 0
 	}
-	return s.shards[0].engine.Opts.QueryWorkers
+	return s.shards[0].engine().Opts.QueryWorkers
 }
 
-// Len returns the total number of indexed graphs across shards.
-func (s *ShardedIndex) Len() int { return s.total }
+// Len returns the total number of live (searchable) graphs across
+// shards; deletes shrink it. The global id space never shrinks.
+func (s *ShardedIndex) Len() int {
+	n := 0
+	for _, shard := range s.shards {
+		n += shard.Len()
+	}
+	return n
+}
 
 // Shards returns the number of shards.
 func (s *ShardedIndex) Shards() int { return len(s.shards) }
+
+// shardOf maps a global id to its shard and the local id within it.
+func (s *ShardedIndex) shardOf(globalID int) (int, int, error) {
+	if globalID < 0 || globalID >= s.total {
+		return 0, 0, fmt.Errorf("lan: no graph with id %d", globalID)
+	}
+	for i := len(s.offsets) - 1; i >= 0; i-- {
+		if globalID >= s.offsets[i] {
+			return i, globalID - s.offsets[i], nil
+		}
+	}
+	return 0, 0, fmt.Errorf("lan: no graph with id %d", globalID)
+}
+
+// Delete tombstones the graph with the given global id in its shard.
+// A shard whose members are all deleted keeps serving searches — the
+// fan-out skips it (zero results) instead of erroring — so churn can
+// drain any shard completely.
+func (s *ShardedIndex) Delete(globalID int) error {
+	shard, local, err := s.shardOf(globalID)
+	if err != nil {
+		return err
+	}
+	return s.shards[shard].Delete(local)
+}
+
+// Epoch sums the shard epochs: 0 for a never-mutated sharded index,
+// strictly increasing with every applied write, usable as a cache
+// invalidation key exactly like Index.Epoch.
+func (s *ShardedIndex) Epoch() uint64 {
+	var e uint64
+	for _, shard := range s.shards {
+		e += shard.Epoch()
+	}
+	return e
+}
+
+// Close stops every shard's background optimizer (no-ops for shards
+// that never received writes).
+func (s *ShardedIndex) Close() error {
+	var first error
+	for _, shard := range s.shards {
+		if err := shard.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Search fans the query out to every shard (in parallel) and merges the
 // per-shard k-ANN answers into a global top-k with global graph ids.

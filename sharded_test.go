@@ -80,7 +80,7 @@ func TestShardedSearchRecall(t *testing.T) {
 	}
 	// Exercise the sharding machinery with the deterministic strategies so
 	// the assertion is about fan-out/merge, not learned-model quality.
-	eng := sharded.shards[0].engine
+	eng := sharded.shards[0].engine()
 	var recall float64
 	for _, q := range test {
 		truth := dataset.BruteForceKNN(db, q, eng.Opts.QueryMetric, 5)
