@@ -6,7 +6,16 @@
 //	lan-bench -exp fig5 -scale 0.01 -k 10
 //	lan-bench -exp all
 //
-// Valid experiment ids: tab1, fig5..fig12, all.
+// Valid experiment ids: tab1, fig5..fig12, scal (storage-tier
+// scalability sweep: RAM vs mmap vs quantized snapshots), all.
+//
+// By default the query workloads come from the pinned per-dataset query
+// sets in testdata/bench_queries.json, so recall and latency numbers are
+// comparable across commits (scripts/bench-diff reports the deltas);
+// -queryset points at a different set, and an explicit -queries (or
+// -queryset off) samples a fresh workload instead. -store mmap routes
+// every query measurement through a memory-mapped snapshot of the built
+// index.
 //
 // Alongside the human-readable rows, lan-bench writes a machine-readable
 // summary (recall@k, mean/median NDC split per routing stage, prune-rate
@@ -41,7 +50,9 @@ func main() {
 		data     = flag.String("datasets", "", "comma-separated dataset filter (aids,linux,pubchem,syn; default all)")
 		jsonPath = flag.String("json", "", `benchmark summary path ("" = BENCH_<timestamp>.json, "off" disables)`)
 		trace    = flag.Bool("trace", false, "print one sample routing trace per dataset (JSON lines) to stderr")
+		queryset = flag.String("queryset", "testdata/bench_queries.json", `pinned per-dataset query sets ("off" samples fresh; explicit -queries also samples fresh)`)
 	)
+	flag.StringVar(&p.Store, "store", "", `storage tier for query measurements: "ram" (default: serve the built engine) or "mmap" (snapshot and reopen memory-mapped)`)
 	flag.Float64Var(&p.Scale, "scale", p.Scale, "dataset scale relative to Table I")
 	flag.IntVar(&p.Queries, "queries", p.Queries, "query workload size")
 	flag.IntVar(&p.K, "k", p.K, "answers per query")
@@ -63,6 +74,30 @@ func main() {
 		}
 	}
 	p.QueryMetric = ged.Ensemble{ExactBudget: *budget, BeamWidth: 4}
+	if p.Store != "" && p.Store != "ram" && p.Store != "mmap" {
+		log.Fatalf("bad -store %q (want ram or mmap)", p.Store)
+	}
+	// Pinned query sets regenerate the same workload run after run, which
+	// is what makes BENCH json files diffable across commits. An explicit
+	// -queries asks for a different workload size, so it falls back to
+	// fresh sampling (the pinned sets have a fixed size).
+	queriesFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "queries" {
+			queriesFlagSet = true
+		}
+	})
+	if *queryset != "off" && !queriesFlagSet {
+		if buf, err := os.ReadFile(*queryset); err == nil {
+			if err := json.Unmarshal(buf, &p.QuerySets); err != nil {
+				log.Fatalf("bad query set %s: %v", *queryset, err)
+			}
+		} else if *queryset != "testdata/bench_queries.json" {
+			// The default path is best-effort (absent outside the repo
+			// checkout); an explicit one must exist.
+			log.Fatalf("-queryset %s: %v", *queryset, err)
+		}
+	}
 	if *data != "" {
 		for _, d := range strings.Split(*data, ",") {
 			p.Datasets = append(p.Datasets, strings.TrimSpace(d))

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/lanio"
 )
 
@@ -29,25 +30,26 @@ func main() {
 		routing = flag.String("routing", "lan", "routing: lan, baseline, oracle")
 		initial = flag.String("initial", "lan", "initial node: lan, hnsw, rand")
 		trace   = flag.Bool("trace", false, "print a per-query routing trace (JSON, one line per query) to stderr")
+		store   = flag.String("store", "mmap", "storage tier for binary snapshots: ram or mmap (JSON indexes are always ram)")
 	)
 	flag.Parse()
-	if *dbPath == "" || *idxPath == "" || *qPath == "" {
-		log.Fatal("need -db, -index and -queries")
+	if *idxPath == "" || *qPath == "" {
+		log.Fatal("need -index and -queries (-db too unless the index is a binary snapshot)")
 	}
 
-	db, err := lanio.ReadDatabase(*dbPath)
+	var db graph.Database
+	if *dbPath != "" {
+		var err error
+		db, err = lanio.ReadDatabase(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	idx, err := lanio.OpenIndex(*idxPath, db, lan.Options{Store: *store})
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Open(*idxPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	idx, err := lan.Load(db, f, lan.Options{})
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer idx.Close()
 	queries, err := lanio.ReadQueries(*qPath)
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/lanio"
 	"github.com/lansearch/lan/lanserve"
 )
@@ -36,39 +37,54 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lan-serve: ")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		dbPath   = flag.String("db", "", "database file (graph text format, or .json)")
-		idxPath  = flag.String("index", "", "trained index snapshot from lan-train")
-		workers  = flag.Int("workers", 0, "concurrent searches (default GOMAXPROCS)")
-		qWorkers = flag.Int("query-workers", 1, "distance-evaluation goroutines per query (1 = sequential; raise only when -workers is below the core count — results are identical either way)")
-		queue    = flag.Int("queue", 64, "admission queue depth beyond -workers; overflow gets 429")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-request deadline ceiling")
-		cacheSz  = flag.Int("cache", 1024, "result-cache entries (negative disables)")
-		maxK     = flag.Int("max-k", 100, "largest k accepted per request")
-		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/")
-		grace    = flag.Duration("shutdown-grace", 5*time.Second, "drain window after SIGTERM")
-		quietLog = flag.Bool("quiet", false, "suppress per-request error logging")
-		traceN   = flag.Int("trace-ring", 8, "per-query traces kept for /debug/trace/last (negative disables tracing)")
-		slowQ    = flag.Duration("slow-query", 0, "log the full trace of queries at least this slow (0 disables)")
-		writable = flag.Bool("writable", false, "enable POST /insert and /delete (streaming writes against the served index)")
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		dbPath    = flag.String("db", "", "database file (graph text format, or .json)")
+		idxPath   = flag.String("index", "", "trained index snapshot from lan-train")
+		workers   = flag.Int("workers", 0, "concurrent searches (default GOMAXPROCS)")
+		qWorkers  = flag.Int("query-workers", 1, "distance-evaluation goroutines per query (1 = sequential; raise only when -workers is below the core count — results are identical either way)")
+		queue     = flag.Int("queue", 64, "admission queue depth beyond -workers; overflow gets 429")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline ceiling")
+		cacheSz   = flag.Int("cache", 1024, "result-cache entries (negative disables)")
+		maxK      = flag.Int("max-k", 100, "largest k accepted per request")
+		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof/")
+		grace     = flag.Duration("shutdown-grace", 5*time.Second, "drain window after SIGTERM")
+		quietLog  = flag.Bool("quiet", false, "suppress per-request error logging")
+		traceN    = flag.Int("trace-ring", 8, "per-query traces kept for /debug/trace/last (negative disables tracing)")
+		slowQ     = flag.Duration("slow-query", 0, "log the full trace of queries at least this slow (0 disables)")
+		writable  = flag.Bool("writable", false, "enable POST /insert and /delete (streaming writes against the served index)")
+		storeTier = flag.String("store", "mmap", "storage tier for binary snapshots: ram or mmap (JSON indexes are always ram)")
 	)
 	flag.Parse()
-	if *dbPath == "" || *idxPath == "" {
-		log.Fatal("need -db and -index")
+	if *idxPath == "" {
+		log.Fatal("need -index (-db too unless the index is a binary snapshot)")
+	}
+	if *writable && *storeTier == lan.StoreMMap {
+		// Catch the conflict at startup instead of serving an endpoint
+		// whose every request would fail with ErrReadOnly. A binary
+		// snapshot can still be served writable via -store ram; JSON
+		// indexes are unaffected (always RAM-resident).
+		if snap, err := lan.IsSnapshotFile(*idxPath); err == nil && snap {
+			log.Fatal("-writable needs a RAM-resident index; pass -store ram (mmap-backed indexes are read-only)")
+		}
 	}
 
-	db, err := lanio.ReadDatabase(*dbPath)
-	if err != nil {
-		log.Fatal(err)
+	var db graph.Database
+	if *dbPath != "" {
+		var err error
+		db, err = lanio.ReadDatabase(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	start := time.Now()
 	// Workers also bounds the snapshot-load fan-out: snapshots without
 	// precomputed node embeddings recompute them across this many
 	// goroutines.
-	idx, err := lanio.LoadIndex(*idxPath, db, lan.Options{Workers: *workers, QueryWorkers: *qWorkers})
+	idx, err := lanio.OpenIndex(*idxPath, db, lan.Options{Workers: *workers, QueryWorkers: *qWorkers, Store: *storeTier})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer idx.Close()
 	log.Printf("loaded index over %d graphs in %s (gamma* = %.0f)",
 		idx.Len(), time.Since(start).Round(time.Millisecond), idx.GammaStar())
 
@@ -85,7 +101,6 @@ func main() {
 	}
 	if *writable {
 		cfg.Writer = idx
-		defer idx.Close() // stop the background edge optimizer on exit
 	}
 	if !*quietLog {
 		cfg.Logf = log.Printf

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	lan-train -db aids.txt -queries aids-queries.txt -out aids.lan -dim 16 -epochs 10
+//
+// A .lansnap output path writes the self-contained binary snapshot
+// instead of the JSON index — the format lan-search/lan-serve can open
+// with -store mmap (no -db needed) — with -precision selecting the
+// stored embedding precision (f64, f32, int8; final distances are exact
+// under every setting).
 package main
 
 import (
@@ -11,8 +17,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/lansearch/lan"
 	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/lanio"
 )
@@ -23,7 +31,8 @@ func main() {
 	var (
 		dbPath  = flag.String("db", "", "database file (graph text format)")
 		qPath   = flag.String("queries", "", "training query workload file")
-		outPath = flag.String("out", "index.lan", "output index snapshot")
+		outPath = flag.String("out", "index.lan", "output index snapshot (.lansnap writes the self-contained binary format)")
+		prec    = flag.String("precision", "f64", "embedding precision in .lansnap output: f64, f32 or int8 (final distances stay exact)")
 		dim     = flag.Int("dim", 16, "embedding dimension")
 		m       = flag.Int("m", 8, "proximity graph degree parameter")
 		epochs  = flag.Int("epochs", 10, "training epochs")
@@ -60,6 +69,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "built index over %d graphs in %s (gamma* = %.0f)\n",
 		idx.Len(), time.Since(start).Round(time.Millisecond), idx.GammaStar())
 
+	if strings.HasSuffix(*outPath, ".lansnap") {
+		if err := idx.SaveSnapshot(*outPath, lan.SnapshotOptions{Precision: *prec}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (binary snapshot, %s embeddings)\n", *outPath, *prec)
+		return
+	}
 	f, err := os.Create(*outPath)
 	if err != nil {
 		log.Fatal(err)

@@ -57,6 +57,28 @@ func (g *Graph) AddEdge(u, v int) error {
 	return nil
 }
 
+// Assemble constructs a graph directly from its parts: node labels and a
+// strictly-sorted symmetric adjacency (the representation Neighbors
+// exposes). It is the decoder-side counterpart of AddNode/AddEdge for
+// loaders that already hold the graph in wire form; the invariants are
+// verified, so a corrupted input yields an error, never a malformed
+// graph. The slices are adopted, not copied.
+func Assemble(id int, labels []string, adj [][]int) (*Graph, error) {
+	g := &Graph{ID: id, labels: labels, adj: adj}
+	half := 0
+	for _, ns := range adj {
+		half += len(ns)
+	}
+	if half%2 != 0 {
+		return nil, fmt.Errorf("graph: assemble: odd half-edge count %d", half)
+	}
+	g.edges = half / 2
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: assemble: %w", err)
+	}
+	return g, nil
+}
+
 // MustAddEdge is AddEdge but panics on error. Intended for literals in
 // tests and examples.
 func (g *Graph) MustAddEdge(u, v int) {

@@ -35,7 +35,14 @@ type FeatureEmbedder struct {
 
 // NewFeatureEmbedder builds an embedder over db's label vocabulary.
 func NewFeatureEmbedder(db graph.Database) *FeatureEmbedder {
-	return &FeatureEmbedder{Vocab: cg.NewVocab(db), MaxDegree: 8, SizeScale: 50}
+	return NewFeatureEmbedderVocab(cg.NewVocab(db))
+}
+
+// NewFeatureEmbedderVocab builds an embedder over an existing vocabulary
+// — the snapshot-load path, which must not scan a (possibly disk-backed)
+// database.
+func NewFeatureEmbedderVocab(v *cg.Vocab) *FeatureEmbedder {
+	return &FeatureEmbedder{Vocab: v, MaxDegree: 8, SizeScale: 50}
 }
 
 // Dim returns the embedding dimension.

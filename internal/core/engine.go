@@ -250,6 +250,12 @@ type Engine struct {
 	Index *pg.HNSW
 	Opts  Options
 
+	// Graphs is the candidate-fetch tier every search goes through: a
+	// pg.RAMStore over DB for built/loaded engines, or an mmap snapshot
+	// store for engines opened with the mmap storage mode (DB is then a
+	// husk of nil entries sized for len() accounting only).
+	Graphs pg.GraphStore
+
 	Store     *models.CGStore
 	Mrk       *models.NeighborRanker
 	Mnh       *models.NeighborhoodModel
@@ -288,7 +294,7 @@ func Build(db graph.Database, trainQueries []*graph.Graph, opts Options) (*Engin
 		Hidden: opts.Hidden, GammaStar: gammaStar, Seed: opts.Seed,
 	}
 
-	e := &Engine{DB: db, Index: idx, Opts: opts, Store: store, GammaStar: gammaStar}
+	e := &Engine{DB: db, Index: idx, Opts: opts, Graphs: pg.NewRAMStore(db), Store: store, GammaStar: gammaStar}
 
 	// M_rk. The training set is shuffled and capped: neighborhoods of all
 	// training queries overlap heavily, and a bounded sample keeps offline
@@ -375,7 +381,7 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 	trace := obs.From(ctx)
 	trace.SetConfig(so.Initial.String(), so.Routing.String(), so.K, so.Beam)
 	tm := obs.NewTimedMetric(e.Opts.QueryMetric)
-	cache := pg.NewDistCache(tm, e.DB, q)
+	cache := pg.NewDistCacheStore(tm, e.Graphs, q)
 	var stats QueryStats
 	if err := ctx.Err(); err != nil {
 		stats.Total = time.Since(start)
@@ -406,7 +412,7 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 			QueryCG:    qcg,
 		}
 		before := tm.Elapsed()
-		entry = sel.Select(ctx, e.DB, q, cache)
+		entry = sel.Select(ctx, e.Graphs, q, cache)
 		distInModels = tm.Elapsed() - before
 	case HNSWIS:
 		entry = e.Index.EntryPointPooled(ctx, cache, pool)
@@ -458,7 +464,7 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 		// The route layer counts ranking invocations (route.Stats.
 		// RankerCalls), the same quantity the oracle path reports, so the
 		// model ranker no longer keeps its own per-neighbor tally.
-		inner := e.Mrk.Ranker(e.DB, q, qcg, nil)
+		inner := e.Mrk.Ranker(e.Graphs, q, qcg, nil)
 		ranker := route.RankerFunc(func(node int, neighbors []int, d float64) [][]int {
 			rs := time.Now()
 			b := inner.Batches(node, neighbors, d)

@@ -153,8 +153,40 @@ func LoadWithState(db graph.Database, r io.Reader, opts Options) (*Engine, *Muta
 		}
 		st = &MutationState{Epoch: s.Epoch, Born: s.Born, Died: s.Died}
 	}
-	if len(s.Adj) != len(db) {
-		return nil, nil, 0, fmt.Errorf("core: snapshot indexes %d graphs, database has %d", len(s.Adj), len(db))
+	e, err := assembleEngine(db, &s, s.Adj, opts, assembly{})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return e, st, s.Version, nil
+}
+
+// assembly carries the storage-dependent pieces of engine assembly. The
+// JSON loader derives everything from the RAM database (zero value); the
+// v3 snapshot loader substitutes vocab-built caches and — in mmap mode —
+// an external graph store and embedding source over a husk database.
+type assembly struct {
+	// graphs overrides the candidate-fetch tier (nil → RAMStore over db).
+	graphs pg.GraphStore
+	// cgs overrides the compressed-GNN-graph cache (nil → scan db).
+	cgs *models.CGStore
+	// embedder overrides M_c's feature embedder (nil → scan db).
+	embedder cluster.Embedder
+	// nodeEmb supplies the M_rk table when the snapshot metadata carries
+	// none (the v3 RAM path decodes it from the embedding section).
+	nodeEmb [][]float64
+	// embSrc serves the M_rk table externally (the v3 mmap path).
+	embSrc models.NodeEmbeddingSource
+	// huskDB marks db as a length-only husk of nil entries (mmap mode):
+	// assembly must not dereference entries or fall back to db scans.
+	huskDB bool
+}
+
+// assembleEngine rebuilds a ready engine from decoded snapshot metadata,
+// the base-layer adjacency and the storage-dependent inputs in asm — the
+// shared back half of the JSON and v3 loaders.
+func assembleEngine(db graph.Database, s *snapshot, adj [][]int, opts Options, asm assembly) (*Engine, error) {
+	if len(adj) != len(db) {
+		return nil, fmt.Errorf("core: snapshot indexes %d graphs, database has %d", len(adj), len(db))
 	}
 	opts.M = s.M
 	opts.Layers, opts.Dim = s.Layers, s.Dim
@@ -166,48 +198,65 @@ func LoadWithState(db graph.Database, r io.Reader, opts Options) (*Engine, *Muta
 	opts.defaults(len(db))
 
 	idx := &pg.HNSW{
-		PG:    &pg.PG{DB: db, Adj: s.Adj},
+		PG:    &pg.PG{DB: db, Adj: adj},
 		Upper: s.Upper,
 		Level: s.Level,
 		Entry: s.Entry,
 	}
 	if err := idx.PG.Validate(); err != nil {
-		return nil, nil, 0, fmt.Errorf("core: load: %w", err)
+		return nil, fmt.Errorf("core: load: %w", err)
 	}
 
-	store := models.NewCGStore(db, opts.Layers, opts.UseCG)
+	store := asm.cgs
+	if store == nil {
+		store = models.NewCGStore(db, opts.Layers, opts.UseCG)
+	}
+	graphs := asm.graphs
+	if graphs == nil {
+		graphs = pg.NewRAMStore(db)
+	}
 	mcfg := models.Config{
 		Layers: opts.Layers, Dim: opts.Dim, BatchPercent: opts.BatchPercent,
 		Hidden: opts.Hidden, GammaStar: s.GammaStar, Seed: opts.Seed,
 	}
-	e := &Engine{DB: db, Index: idx, Opts: opts, Store: store, GammaStar: s.GammaStar}
+	e := &Engine{DB: db, Index: idx, Opts: opts, Graphs: graphs, Store: store, GammaStar: s.GammaStar}
 
 	e.Mrk = models.NewNeighborRanker(mcfg, store)
 	if err := e.Mrk.Params.Load(bytesReader(s.MrkParams)); err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
-	if s.MrkNodeEmb != nil {
+	switch {
+	case s.MrkNodeEmb != nil:
 		if err := e.Mrk.SetNodeEmbeddings(s.MrkNodeEmb, len(db)); err != nil {
-			return nil, nil, 0, err
+			return nil, err
 		}
-	} else {
+	case asm.nodeEmb != nil:
+		if err := e.Mrk.SetNodeEmbeddings(asm.nodeEmb, len(db)); err != nil {
+			return nil, err
+		}
+	case asm.embSrc != nil:
+		e.Mrk.SetNodeEmbeddingSource(asm.embSrc)
+	case !asm.huskDB:
 		e.Mrk.PrecomputeNodeEmbeddings(db, opts.Workers)
 	}
 	e.Mnh = models.NewNeighborhoodModel(mcfg, store)
 	if err := e.Mnh.Params.Load(bytesReader(s.MnhParams)); err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
 
 	km := &cluster.KMeans{Centroids: s.Centroids, Assign: s.Assign, Members: make([][]int, len(s.Centroids))}
 	for i, c := range s.Assign {
 		km.Members[c] = append(km.Members[c], i)
 	}
-	emb := cluster.NewFeatureEmbedder(db)
+	emb := asm.embedder
+	if emb == nil {
+		emb = cluster.NewFeatureEmbedder(db)
+	}
 	e.Mc = models.NewClusterModel(mcfg, emb, km)
 	if err := e.Mc.Params.Load(bytesReader(s.McParams)); err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
-	return e, st, s.Version, nil
+	return e, nil
 }
 
 func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

@@ -142,19 +142,28 @@ type RoutingMetrics struct {
 // one query-speedup point per dataset. GeneratedAt is stamped by the
 // caller (lan-bench) at write time.
 type BenchReport struct {
-	GeneratedAt  string          `json:"generated_at,omitempty"`
-	Scale        float64         `json:"scale"`
-	K            int             `json:"k"`
-	Dim          int             `json:"dim"`
-	Epochs       int             `json:"epochs"`
-	Workers      int             `json:"workers"`
-	Seed         int64           `json:"seed"`
-	Points       []BenchPoint    `json:"points"`
-	Builds       []BuildPoint    `json:"builds"`
-	QueryPoints  []QueryPoint    `json:"query_points"`
-	MutatePoints []MutatePoint   `json:"mutate_points"`
-	Routing      RoutingMetrics  `json:"routing_metrics"`
-	Mutation     MutationMetrics `json:"mutation_metrics"`
+	GeneratedAt string  `json:"generated_at,omitempty"`
+	Scale       float64 `json:"scale"`
+	K           int     `json:"k"`
+	Dim         int     `json:"dim"`
+	Epochs      int     `json:"epochs"`
+	Workers     int     `json:"workers"`
+	Seed        int64   `json:"seed"`
+	// Store records the storage tier the query measurements ran on
+	// ("ram" when empty; "mmap" means every query point exercised the
+	// memory-mapped candidate-fetch path).
+	Store        string        `json:"store,omitempty"`
+	Points       []BenchPoint  `json:"points"`
+	Builds       []BuildPoint  `json:"builds"`
+	QueryPoints  []QueryPoint  `json:"query_points"`
+	MutatePoints []MutatePoint `json:"mutate_points"`
+	// StorePoints carries the storage-tier scalability sweep (-exp scal)
+	// when it ran in the same process: per (size, quantization) cell,
+	// RAM-vs-mmap identity, quantization recall epsilon, and resident
+	// memory of both tiers.
+	StorePoints []StorePoint    `json:"store_points,omitempty"`
+	Routing     RoutingMetrics  `json:"routing_metrics"`
+	Mutation    MutationMetrics `json:"mutation_metrics"`
 }
 
 // snapshotMutationMetrics reads the process-wide write-path counters.
@@ -218,6 +227,8 @@ func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
 		}
 		rep.MutatePoints = append(rep.MutatePoints, mp)
 	}
+	rep.Store = p.Store
+	rep.StorePoints = cache.storePoints
 	rep.Routing = snapshotRoutingMetrics()
 	rep.Mutation = snapshotMutationMetrics()
 	return rep, nil

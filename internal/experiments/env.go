@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"github.com/lansearch/lan/internal/core"
 	"github.com/lansearch/lan/internal/dataset"
 	"github.com/lansearch/lan/internal/l2route"
+	"github.com/lansearch/lan/internal/lanstore"
 	"github.com/lansearch/lan/internal/models"
 	"github.com/lansearch/lan/internal/pg"
 )
@@ -61,6 +64,18 @@ type Protocol struct {
 	// Datasets, when non-empty, restricts Specs() to the named datasets
 	// (case-insensitive prefixes: "aids", "linux", "pubchem", "syn").
 	Datasets []string
+	// QuerySets pins per-dataset query workloads (keyed by spec name).
+	// When a dataset has an entry, the workload is regenerated from the
+	// pinned specs instead of sampled fresh — the default lan-bench mode,
+	// so numbers stay comparable across commits. A set whose base ids do
+	// not fit the generated database (different -scale) falls back to
+	// sampling.
+	QuerySets map[string][]dataset.QuerySpec
+	// Store selects the storage tier query measurements run on: "" or
+	// lan's StoreRAM keep the built engine; "mmap" saves a binary
+	// snapshot and reopens it memory-mapped, so every figure and bench
+	// point exercises the on-disk fetch path.
+	Store string
 }
 
 // DefaultProtocol returns a laptop-sized configuration.
@@ -117,13 +132,16 @@ type Env struct {
 	// BuildTime is the wall time spent constructing and training the LAN
 	// engine and the L2route baseline (ground-truth computation excluded).
 	BuildTime time.Duration
+	// Store backs Engine when the protocol runs on the mmap tier
+	// (Protocol.Store); nil on the default RAM tier.
+	Store *lanstore.Store
 }
 
 // NewEnv generates the dataset, builds and trains the LAN engine and the
 // L2route baseline, and computes the test ground truth.
 func NewEnv(p Protocol, spec dataset.Spec) (*Env, error) {
 	db := spec.Generate()
-	queries := dataset.Workload(db, spec, p.Queries, p.Seed+7)
+	queries := envWorkload(p, db, spec)
 	train, _, test := dataset.Split(queries)
 
 	buildStart := time.Now()
@@ -147,8 +165,52 @@ func NewEnv(p Protocol, spec dataset.Spec) (*Env, error) {
 	l2 := l2route.BuildIndex(db, enc, 6)
 	buildTime := time.Since(buildStart)
 
-	truth := dataset.ComputeGroundTruth(db, test, p.QueryMetric, p.K)
-	return &Env{Protocol: p, Spec: spec, DB: db, Engine: eng, L2: l2, Train: train, Test: test, Truth: truth, BuildTime: buildTime}, nil
+	env := &Env{Protocol: p, Spec: spec, DB: db, Engine: eng, L2: l2, Train: train, Test: test, BuildTime: buildTime}
+	if p.Store == "mmap" {
+		if err := env.reopenMMap(); err != nil {
+			return nil, err
+		}
+	}
+	env.Truth = dataset.ComputeGroundTruth(db, test, p.QueryMetric, p.K)
+	return env, nil
+}
+
+// envWorkload draws the dataset's query workload: the pinned query set
+// when the protocol carries one that fits the generated database, else
+// Workload's fresh sampling.
+func envWorkload(p Protocol, db graph.Database, spec dataset.Spec) []*graph.Graph {
+	if qs, ok := p.QuerySets[spec.Name]; ok && len(qs) > 0 {
+		if fixed, err := dataset.FixedWorkload(db, spec, qs); err == nil {
+			return fixed
+		}
+	}
+	return dataset.Workload(db, spec, p.Queries, p.Seed+7)
+}
+
+// reopenMMap swaps the freshly built RAM engine for one serving the same
+// index off a memory-mapped binary snapshot, so every measurement in
+// this environment exercises the on-disk candidate-fetch path. The
+// snapshot lands in a temporary directory that lives for the process.
+func (e *Env) reopenMMap() error {
+	dir, err := os.MkdirTemp("", "lan-bench-store-*")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, e.Spec.Name+".lansnap")
+	if err := core.SaveSnapshotV3(path, e.Engine, nil, lanstore.QuantF64); err != nil {
+		return err
+	}
+	p := e.Protocol
+	eng, _, store, err := core.OpenSnapshotV3(path, core.Options{
+		BuildMetric: p.buildMetric(), QueryMetric: p.QueryMetric,
+		Workers: p.Workers, QueryWorkers: p.QueryWorkers,
+	}, true)
+	if err != nil {
+		return err
+	}
+	e.Engine = eng
+	e.Store = store
+	return nil
 }
 
 // Point is one (recall, QPS) measurement of a method at one beam setting.

@@ -195,7 +195,7 @@ func TestBenchReportShape(t *testing.T) {
 
 func TestNamesListed(t *testing.T) {
 	names := Names()
-	if len(names) != 10 || names[0] != "tab1" || names[len(names)-1] != "all" {
+	if len(names) != 11 || names[0] != "tab1" || names[len(names)-1] != "all" {
 		t.Fatalf("Names = %v", names)
 	}
 }

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package experiments
+
+import "runtime/debug"
+
+// procRSS has no portable implementation; the store sweep reports zero
+// resident-memory numbers off Linux and keeps the rest of its columns.
+func procRSS() (rss, peak uint64) { return 0, 0 }
+
+func settledRSS() uint64 {
+	debug.FreeOSMemory()
+	return 0
+}

@@ -1,0 +1,46 @@
+//go:build linux
+
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"runtime/debug"
+	"strconv"
+)
+
+// procRSS reads the process's current and peak resident set sizes in
+// bytes from /proc/self/status (VmRSS and VmHWM). Zeros on any parse
+// trouble — memory numbers are reported, never load-bearing.
+func procRSS() (rss, peak uint64) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, 0
+	}
+	return statusKB(data, "VmRSS:"), statusKB(data, "VmHWM:")
+}
+
+func statusKB(status []byte, key string) uint64 {
+	i := bytes.Index(status, []byte(key))
+	if i < 0 {
+		return 0
+	}
+	fields := bytes.Fields(status[i+len(key):])
+	if len(fields) == 0 {
+		return 0
+	}
+	kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return kb * 1024
+}
+
+// settledRSS forces a GC, returns freed heap to the OS and reports the
+// resident set afterwards — the steady-state footprint of whatever is
+// still live, with allocation noise scrubbed out.
+func settledRSS() uint64 {
+	debug.FreeOSMemory()
+	rss, _ := procRSS()
+	return rss
+}

@@ -16,6 +16,10 @@ func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)
 // and trains each dataset's engine once.
 type EnvCache struct {
 	byName map[string]*Env
+	// storePoints accumulates StoreSweep results run through this cache,
+	// so a later Bench() folds them into the report without re-running
+	// the sweep.
+	storePoints []StorePoint
 }
 
 // NewEnvCache returns an empty cache for sharing across RunCached/Bench.
@@ -129,6 +133,10 @@ func run(w io.Writer, name string, p Protocol, cache *EnvCache) error {
 				row.HAGPerPair.Round(time.Microsecond),
 				row.CGSpeedup, row.HAGSpeedup)
 		}
+	case "scal":
+		if _, err := StoreSweep(p, cache, w); err != nil {
+			return err
+		}
 	case "all":
 		for _, n := range Names() {
 			if n == "all" {
@@ -147,7 +155,7 @@ func run(w io.Writer, name string, p Protocol, cache *EnvCache) error {
 
 // Names lists the runnable experiment ids.
 func Names() []string {
-	return []string{"tab1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "all"}
+	return []string{"tab1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "scal", "all"}
 }
 
 func figTitle(name string) string {

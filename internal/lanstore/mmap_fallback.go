@@ -1,0 +1,24 @@
+//go:build !linux
+
+package lanstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile reads path fully into memory on platforms without the mmap
+// fast path; the format and every accessor behave identically, the
+// beyond-RAM property is simply not available.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) == 0 {
+		return nil, false, fmt.Errorf("%s: %w", path, ErrNotSnapshot)
+	}
+	return data, false, nil
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,40 @@
+//go:build linux
+
+package lanstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned bool reports whether the
+// bytes are a real mapping (and must go through unmapFile) as opposed to
+// a heap read.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, fmt.Errorf("%s: %w", path, ErrNotSnapshot)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("lanstore: mmap %s: %w", path, err)
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -191,13 +191,22 @@ type InitialSelector struct {
 	QueryCG *cg.Compressed
 }
 
-// Select returns the initial node for routing Q over db. Fallbacks: when
-// the predicted neighborhood is empty, the graph with the highest M_nh
-// probability among scanned candidates is used; when even that fails, the
-// first member of the top cluster. Cancelling ctx stops the GED sample
-// verification early and returns the best candidate found so far — the
-// model predictions themselves are cheap and always complete.
-func (s *InitialSelector) Select(ctx context.Context, db graph.Database, q *graph.Graph, cache *pg.DistCache) int {
+// selectFetchBatch bounds how many candidate graphs Select materializes
+// per store fetch: large enough to amortize a disk-backed store's
+// segment reads, small enough to keep the resident working set flat even
+// in Exhaustive mode.
+const selectFetchBatch = 256
+
+// Select returns the initial node for routing Q over the store's
+// database. Fallbacks: when the predicted neighborhood is empty, the
+// graph with the highest M_nh probability among scanned candidates is
+// used; when even that fails, the first member of the top cluster.
+// Cancelling ctx stops the GED sample verification early and returns the
+// best candidate found so far — the model predictions themselves are
+// cheap and always complete. Candidate graphs are fetched in
+// selectFetchBatch-sized batches so a disk-backed store reads segments,
+// not single graphs.
+func (s *InitialSelector) Select(ctx context.Context, store pg.GraphStore, q *graph.Graph, cache *pg.DistCache) int {
 	top := s.TopClusters
 	if top <= 0 {
 		top = 3
@@ -208,8 +217,8 @@ func (s *InitialSelector) Select(ctx context.Context, db graph.Database, q *grap
 	}
 	var candidates []int
 	if s.Exhaustive {
-		candidates = make([]int, len(db))
-		for i := range db {
+		candidates = make([]int, store.Len())
+		for i := range candidates {
 			candidates[i] = i
 		}
 	} else {
@@ -227,17 +236,25 @@ func (s *InitialSelector) Select(ctx context.Context, db graph.Database, q *grap
 		qc = s.Mnh.QueryCG(q)
 	}
 	var predicted []int
+	var fetched []*graph.Graph
 	bestProb, bestG := -1.0, -1
-	for _, g := range candidates {
-		p := s.Mnh.ProbCG(db[g], qc)
-		if s.Predictions != nil {
-			*s.Predictions++
+	for start := 0; start < len(candidates); start += selectFetchBatch {
+		end := start + selectFetchBatch
+		if end > len(candidates) {
+			end = len(candidates)
 		}
-		if p >= 0.5 {
-			predicted = append(predicted, g)
-		}
-		if p > bestProb {
-			bestProb, bestG = p, g
+		fetched = store.FetchGraphs(candidates[start:end], fetched[:0])
+		for i, g := range candidates[start:end] {
+			p := s.Mnh.ProbCG(fetched[i], qc)
+			if s.Predictions != nil {
+				*s.Predictions++
+			}
+			if p >= 0.5 {
+				predicted = append(predicted, g)
+			}
+			if p > bestProb {
+				bestProb, bestG = p, g
+			}
 		}
 	}
 	if len(predicted) == 0 {

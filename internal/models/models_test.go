@@ -172,7 +172,7 @@ func TestNeighborRankerRankerAdapter(t *testing.T) {
 	cfg := Config{Layers: 2, Dim: 6, BatchPercent: 25, GammaStar: f.gamma, Seed: 2}
 	r := NewNeighborRanker(cfg, f.store)
 	calls := 0
-	rk := r.Ranker(f.db, f.queries[0], nil, &calls)
+	rk := r.Ranker(pg.NewRAMStore(f.db), f.queries[0], nil, &calls)
 
 	neighbors := f.index.PG.Neighbors(0)
 	if len(neighbors) < 2 {
@@ -350,7 +350,7 @@ func TestInitialSelectorEndToEnd(t *testing.T) {
 	sel := &InitialSelector{Mnh: mnh, Mc: mc, TopClusters: 3, Samples: 4, Seed: 8, Predictions: &preds}
 	q := f.queries[len(f.queries)-1]
 	cache := pg.NewDistCache(f.metric, f.db, q)
-	entry := sel.Select(context.Background(), f.db, q, cache)
+	entry := sel.Select(context.Background(), pg.NewRAMStore(f.db), q, cache)
 	if entry < 0 || entry >= len(f.db) {
 		t.Fatalf("entry out of range: %d", entry)
 	}

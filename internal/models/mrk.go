@@ -33,7 +33,26 @@ type NeighborRanker struct {
 	// needs h_G for every ranking call; computing all of them once at
 	// index-build time moves that cost offline.
 	nodeEmbs [][]float64
+
+	// embSrc, when set, serves precomputed embeddings by id from external
+	// storage (an mmap snapshot) instead of the in-heap table. The table
+	// takes precedence where populated.
+	embSrc NodeEmbeddingSource
 }
+
+// NodeEmbeddingSource serves precomputed node embeddings h_G by database
+// id from external storage — how an mmap-backed snapshot provides the
+// M_rk table without materializing it on the heap. NodeEmbedding fills
+// buf (growing it as needed) or returns a read-only view; the returned
+// row is only valid until the next call with the same buf.
+type NodeEmbeddingSource interface {
+	NodeEmbedding(id int, buf []float64) []float64
+	NodeEmbeddingCount() int
+}
+
+// SetNodeEmbeddingSource installs an external embedding source (see
+// NodeEmbeddingSource). Pass nil to clear.
+func (r *NeighborRanker) SetNodeEmbeddingSource(src NodeEmbeddingSource) { r.embSrc = src }
 
 // NewNeighborRanker builds an untrained M_rk over the store's vocabulary.
 func NewNeighborRanker(cfg Config, store *CGStore) *NeighborRanker {
@@ -139,6 +158,22 @@ func (r *NeighborRanker) nodeEmbedding(node *graph.Graph) []float64 {
 	return r.node.Embed(r.store.For(node))
 }
 
+// nodeEmbeddingByID is nodeEmbedding keyed by database id: the in-heap
+// table first, then the external source (mmap snapshot), then a fresh
+// encoder pass over the fetched graph. buf is a caller-owned scratch
+// slice written only on the external-source path, so rows returned from
+// the table or encoder are never aliased by it.
+func (r *NeighborRanker) nodeEmbeddingByID(store pg.GraphStore, id int, buf *[]float64) []float64 {
+	if id >= 0 && id < len(r.nodeEmbs) && r.nodeEmbs[id] != nil {
+		return r.nodeEmbs[id]
+	}
+	if r.embSrc != nil && id >= 0 && id < r.embSrc.NodeEmbeddingCount() {
+		*buf = r.embSrc.NodeEmbedding(id, (*buf)[:0])
+		return *buf
+	}
+	return r.node.Embed(r.store.For(store.Graph(id)))
+}
+
 // scoreWithNodeEmbedding scores a neighbor given the query's compressed
 // GNN-graph and the current node's embedding (the router ranks many
 // neighbors of one node for one query, so both are computed once per
@@ -164,11 +199,15 @@ func (r *NeighborRanker) scoreWithNodeEmbedding(qc *cg.Compressed, neighbor *gra
 // outside, a single batch disables pruning, per the paper's Sec. IV-C.
 // qc is the query's compressed GNN-graph, built once per search (nil
 // falls back to building it here). Calls counts model invocations for the
-// time-breakdown experiments.
-func (r *NeighborRanker) Ranker(db graph.Database, q *graph.Graph, qc *cg.Compressed, calls *int) route.Ranker {
+// time-breakdown experiments. Candidate graphs come through store, with
+// each ranking call's neighbors fetched as one batch; the returned Ranker
+// closes over per-query scratch and must not be shared across searches.
+func (r *NeighborRanker) Ranker(store pg.GraphStore, q *graph.Graph, qc *cg.Compressed, calls *int) route.Ranker {
 	if qc == nil {
 		qc = r.store.Query(q)
 	}
+	var fetched []*graph.Graph
+	var embBuf []float64
 	return route.RankerFunc(func(node int, neighbors []int, dCurrent float64) [][]int {
 		if dCurrent > r.Cfg.GammaStar || len(neighbors) <= 1 {
 			return route.SplitBatches(append([]int(nil), neighbors...), 100)
@@ -177,10 +216,11 @@ func (r *NeighborRanker) Ranker(db graph.Database, q *graph.Graph, qc *cg.Compre
 			id    int
 			score float64
 		}
-		nodeEmb := r.nodeEmbedding(db[node])
+		nodeEmb := r.nodeEmbeddingByID(store, node, &embBuf)
+		fetched = store.FetchGraphs(neighbors, fetched[:0])
 		ss := make([]scored, len(neighbors))
 		for i, nb := range neighbors {
-			ss[i] = scored{id: nb, score: r.scoreWithNodeEmbedding(qc, db[nb], nodeEmb)}
+			ss[i] = scored{id: nb, score: r.scoreWithNodeEmbedding(qc, fetched[i], nodeEmb)}
 			if calls != nil {
 				*calls++
 			}

@@ -22,6 +22,7 @@
 package mutable
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,7 @@ type Index struct {
 	churn    []int
 	inChurn  map[int]bool
 	optOn    bool
+	readonly bool
 	closed   bool
 	stop     chan struct{}
 	kick     chan struct{}
@@ -74,6 +76,11 @@ type Snapshot struct {
 	state *core.MutationState
 }
 
+// ErrReadOnly is returned by the write path of an index opened
+// read-only (its storage cannot accept writes — e.g. an mmap-backed
+// snapshot whose adjacency aliases read-only mapped memory).
+var ErrReadOnly = errors.New("mutable: index is read-only")
+
 // New wraps eng, whose ownership transfers to the returned index (the
 // caller must not mutate or search eng directly afterwards; use
 // Snapshot). st carries the validity stamps of a version-2 snapshot;
@@ -81,6 +88,17 @@ type Snapshot struct {
 // persisted format version the engine came from (0 when built in
 // memory).
 func New(eng *core.Engine, st *core.MutationState, loadedVersion int) (*Index, error) {
+	return makeIndex(eng, st, loadedVersion, false)
+}
+
+// NewReadOnly is New for engines whose storage is immutable. Insert,
+// Delete and Compact return ErrReadOnly, and the background edge
+// optimizer never starts; reads are unrestricted.
+func NewReadOnly(eng *core.Engine, st *core.MutationState, loadedVersion int) (*Index, error) {
+	return makeIndex(eng, st, loadedVersion, true)
+}
+
+func makeIndex(eng *core.Engine, st *core.MutationState, loadedVersion int, readonly bool) (*Index, error) {
 	n := len(eng.DB)
 	x := &Index{
 		eng:      eng,
@@ -90,6 +108,7 @@ func New(eng *core.Engine, st *core.MutationState, loadedVersion int) (*Index, e
 		live:     n,
 		inChurn:  make(map[int]bool),
 		loadedAs: loadedVersion,
+		readonly: readonly,
 	}
 	if st != nil {
 		if len(st.Born) != n || len(st.Died) != n {
@@ -152,6 +171,10 @@ func (x *Index) Insert(g *graph.Graph) (int, error) {
 	start := time.Now()
 
 	x.mu.Lock()
+	if x.readonly {
+		x.mu.Unlock()
+		return 0, ErrReadOnly
+	}
 	if x.closed {
 		x.mu.Unlock()
 		return 0, fmt.Errorf("mutable: index closed")
@@ -199,6 +222,10 @@ func (x *Index) Insert(g *graph.Graph) (int, error) {
 func (x *Index) Delete(id int) error {
 	start := time.Now()
 	x.mu.Lock()
+	if x.readonly {
+		x.mu.Unlock()
+		return ErrReadOnly
+	}
 	if x.closed {
 		x.mu.Unlock()
 		return fmt.Errorf("mutable: index closed")
@@ -238,6 +265,9 @@ func (x *Index) Delete(id int) error {
 func (x *Index) Compact() (int, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if x.readonly {
+		return 0, ErrReadOnly
+	}
 	if x.closed {
 		return 0, fmt.Errorf("mutable: index closed")
 	}

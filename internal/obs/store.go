@@ -1,0 +1,51 @@
+package obs
+
+import "sync"
+
+// StoreMetrics meters the pluggable graph-storage tier: snapshot opens,
+// candidate fetches and the bytes they decode. The fields are resolved
+// once at registration, so the mmap fetch path records with a couple of
+// atomic adds.
+type StoreMetrics struct {
+	// Opens counts snapshot stores opened (one per Open call).
+	Opens *Counter
+	// MappedBytes is the total size of currently-open snapshot mappings.
+	MappedBytes *Gauge
+	// GraphFetches counts graphs decoded out of snapshot segments;
+	// FetchBatches counts the batched fetch calls that produced them
+	// (GraphFetches/FetchBatches is the achieved batching factor).
+	GraphFetches *Counter
+	FetchBatches *Counter
+	// GraphBytes counts graph-segment bytes decoded.
+	GraphBytes *Counter
+	// EmbeddingReads counts node-embedding rows served from the snapshot.
+	EmbeddingReads *Counter
+}
+
+var (
+	storeOnce    sync.Once
+	storeMetrics *StoreMetrics
+)
+
+// Store returns the process-wide storage-tier metrics, registering them
+// on the default registry on first use.
+func Store() *StoreMetrics {
+	storeOnce.Do(func() {
+		r := Default()
+		storeMetrics = &StoreMetrics{
+			Opens: r.Counter("lan_store_opens_total",
+				"Snapshot stores opened."),
+			MappedBytes: r.Gauge("lan_store_mapped_bytes",
+				"Total size of currently-open snapshot mappings."),
+			GraphFetches: r.Counter("lan_store_graph_fetches_total",
+				"Graphs decoded from snapshot segments."),
+			FetchBatches: r.Counter("lan_store_fetch_batches_total",
+				"Batched candidate-fetch calls against snapshot stores."),
+			GraphBytes: r.Counter("lan_store_graph_bytes_total",
+				"Graph-segment bytes decoded from snapshot stores."),
+			EmbeddingReads: r.Counter("lan_store_embedding_reads_total",
+				"Node-embedding rows served from snapshot stores."),
+		}
+	})
+	return storeMetrics
+}

@@ -68,21 +68,32 @@ func containsSorted(ns []int, v int) bool {
 
 // DistCache evaluates distances from one query to database graphs exactly
 // once, counting the number of distance computations (NDC). A fresh cache
-// is used per query; it is not safe for concurrent use.
+// is used per query; it is not safe for concurrent use. Candidate graphs
+// are fetched through Store, so the same search code runs against the
+// RAM-resident database or an mmap-backed snapshot.
 type DistCache struct {
 	Metric ged.Metric
 	Q      *graph.Graph
-	DB     graph.Database
+	Store  GraphStore
 
-	memo map[int]float64
-	ndc  int
-	hits int
+	memo    map[int]float64
+	ndc     int
+	hits    int
+	scratch []*graph.Graph // reused FetchGraphs destination
 }
 
 // NewDistCache returns a cache for distances between q and members of db.
 func NewDistCache(metric ged.Metric, db graph.Database, q *graph.Graph) *DistCache {
-	return &DistCache{Metric: metric, Q: q, DB: db, memo: make(map[int]float64)}
+	return NewDistCacheStore(metric, NewRAMStore(db), q)
 }
+
+// NewDistCacheStore is NewDistCache over an arbitrary GraphStore.
+func NewDistCacheStore(metric ged.Metric, store GraphStore, q *graph.Graph) *DistCache {
+	return &DistCache{Metric: metric, Q: q, Store: store, memo: make(map[int]float64)}
+}
+
+// GraphAt fetches the database graph with the given id through the store.
+func (c *DistCache) GraphAt(id int) *graph.Graph { return c.Store.Graph(id) }
 
 // Dist returns d(Q, db[id]), computing it at most once.
 func (c *DistCache) Dist(id int) float64 {
@@ -90,19 +101,21 @@ func (c *DistCache) Dist(id int) float64 {
 		c.hits++
 		return d
 	}
-	d := c.Metric.Distance(c.DB[id], c.Q)
+	d := c.Metric.Distance(c.Store.Graph(id), c.Q)
 	c.memo[id] = d
 	c.ndc++
 	return d
 }
 
 // Prefetch computes the distances to ids that are not yet memoized,
-// fanning the GED evaluations across pool (when non-nil) and merging the
-// results into the memo in the ids' order. Because Dist is a pure
-// function of (Q, id), prefetching then reading is indistinguishable from
-// sequential evaluation: the memo contents and the NDC count come out
-// identical. The cache itself stays single-threaded — only the metric
-// calls run concurrently.
+// fetching the pending graphs from the store in one batch and fanning the
+// GED evaluations across pool (when non-nil), then merging the results
+// into the memo in the ids' order. Because Dist is a pure function of
+// (Q, id), prefetching then reading is indistinguishable from sequential
+// evaluation: the memo contents and the NDC count come out identical. The
+// cache itself stays single-threaded — only the metric calls run
+// concurrently, over graphs the single-threaded batch fetch already
+// materialized.
 func (c *DistCache) Prefetch(ids []int, pool *WorkerPool) {
 	var pending []int
 	for _, id := range ids {
@@ -123,20 +136,24 @@ func (c *DistCache) Prefetch(ids []int, pool *WorkerPool) {
 	if len(pending) == 0 {
 		return
 	}
+	graphs := c.Store.FetchGraphs(pending, c.scratch[:0])
+	c.scratch = graphs[:0]
 	if pool == nil || len(pending) < 2 {
-		for _, id := range pending {
-			c.Dist(id)
+		for i, id := range pending {
+			d := c.Metric.Distance(graphs[i], c.Q)
+			c.memo[id] = d
+			c.ndc++
 		}
 		return
 	}
 	out := make([]float64, len(pending))
 	var wg sync.WaitGroup
 	wg.Add(len(pending))
-	for i, id := range pending {
-		i, id := i, id
+	for i := range pending {
+		i := i
 		pool.submit(func() {
 			defer wg.Done()
-			out[i] = c.Metric.Distance(c.DB[id], c.Q)
+			out[i] = c.Metric.Distance(graphs[i], c.Q)
 		})
 	}
 	wg.Wait()

@@ -36,11 +36,42 @@ import (
 	"github.com/lansearch/lan/ged"
 	"github.com/lansearch/lan/graph"
 	"github.com/lansearch/lan/internal/core"
+	"github.com/lansearch/lan/internal/lanstore"
 	"github.com/lansearch/lan/internal/models"
 	"github.com/lansearch/lan/internal/mutable"
 	"github.com/lansearch/lan/internal/obs"
 	"github.com/lansearch/lan/internal/pg"
 )
+
+// Storage tiers for opening a binary snapshot (Options.Store).
+const (
+	// StoreMMap serves queries straight off the memory-mapped snapshot:
+	// candidate graphs are fetched segment-at-a-time during routing and
+	// resident memory stays far below database size. The index is
+	// read-only — Insert, Delete and Compact return ErrReadOnly.
+	StoreMMap = "mmap"
+	// StoreRAM materializes the snapshot into ordinary heap structures at
+	// open; the index is then writable, exactly as if loaded with Load.
+	StoreRAM = "ram"
+)
+
+// ErrReadOnly is returned by Insert, Delete and Compact on an index
+// opened with the mmap store.
+var ErrReadOnly = mutable.ErrReadOnly
+
+// Errors surfaced when opening binary snapshots: the file is not a
+// binary snapshot at all, was written by a newer format version than
+// this build reads, or fails structural validation / checksums.
+var (
+	ErrNotSnapshot   = lanstore.ErrNotSnapshot
+	ErrFutureVersion = lanstore.ErrFutureVersion
+	ErrCorrupt       = lanstore.ErrCorrupt
+)
+
+// IsSnapshotFile reports whether path is a binary snapshot (of any
+// format version — possibly one this build cannot read). Tools use it
+// to route a file to OpenSnapshot versus the JSON Load path.
+func IsSnapshotFile(path string) (bool, error) { return lanstore.IsSnapshot(path) }
 
 // Options configure Build. The zero value is usable.
 type Options struct {
@@ -98,6 +129,10 @@ type Options struct {
 	QueryWorkers int
 	// Seed makes builds reproducible.
 	Seed int64
+	// Store selects the storage tier when opening a binary snapshot with
+	// OpenSnapshot: StoreMMap (the default) or StoreRAM. Build and Load
+	// ignore it — their indexes are always RAM-resident.
+	Store string
 }
 
 // SearchOptions configure one query.
@@ -179,6 +214,9 @@ func WithTrace(ctx context.Context, t *Trace) context.Context {
 // edge-optimizer goroutine — call Close when done with such an index.
 type Index struct {
 	mut *mutable.Index
+	// store backs an mmap-opened index; Close releases the mapping. Nil
+	// for built, Load-ed and ram-materialized indexes.
+	store *lanstore.Store
 }
 
 // engine returns the engine view of the current snapshot. Read-only
@@ -323,6 +361,91 @@ func Load(db graph.Database, r io.Reader, o Options) (*Index, error) {
 	return &Index{mut: mut}, nil
 }
 
+// SnapshotOptions configure SaveSnapshot.
+type SnapshotOptions struct {
+	// Precision selects how M_rk's node-embedding table is stored:
+	// "f64" (the default — searches over the snapshot are bit-identical
+	// to the in-memory index), "f32" (half the space) or "int8" (an
+	// eighth). Quantization only perturbs the learned neighbor ranking —
+	// every distance in the results is still an exact float64 GED — so
+	// recall degrades gracefully; measure it with lan-bench before
+	// shipping int8.
+	Precision string
+}
+
+func quantOf(precision string) (lanstore.Quant, error) {
+	switch precision {
+	case "", "f64":
+		return lanstore.QuantF64, nil
+	case "f32":
+		return lanstore.QuantF32, nil
+	case "int8":
+		return lanstore.QuantInt8, nil
+	}
+	return "", fmt.Errorf("lan: unknown embedding precision %q (want f64, f32 or int8)", precision)
+}
+
+// SaveSnapshot writes the index as a self-contained binary snapshot
+// (format version 3): unlike Save, the database travels inside the file,
+// and the layout is designed to be memory-mapped — OpenSnapshot with the
+// mmap store serves queries from it without materializing the database
+// in RAM. The write is atomic (temp file + rename). Like Save it
+// captures one consistent point-in-time state. An index opened with the
+// mmap store cannot be re-saved; open with StoreRAM to materialize it
+// first.
+func (x *Index) SaveSnapshot(path string, so SnapshotOptions) error {
+	quant, err := quantOf(so.Precision)
+	if err != nil {
+		return err
+	}
+	snap := x.mut.Snapshot()
+	return core.SaveSnapshotV3(path, snap.Engine, snap.State(), quant)
+}
+
+// OpenSnapshot opens a binary snapshot written by SaveSnapshot. The
+// database is inside the file — nothing else is re-supplied, though the
+// GED metrics (code, not data) come from Options as with Load.
+//
+// Options.Store selects the tier: StoreMMap (default) serves queries
+// off the mapping with resident memory far below database size and
+// returns a read-only index; StoreRAM verifies and materializes
+// everything, returning a writable index indistinguishable from Load's.
+// With full-precision embeddings both tiers return bit-identical
+// results, stats and routing trajectories.
+//
+// Call Close when done: for an mmap index it releases the mapping, and
+// the index must not be searched afterwards.
+func OpenSnapshot(path string, o Options) (*Index, error) {
+	mmap := true
+	switch o.Store {
+	case "", StoreMMap:
+	case StoreRAM:
+		mmap = false
+	default:
+		return nil, fmt.Errorf("lan: unknown store %q (want %q or %q)", o.Store, StoreRAM, StoreMMap)
+	}
+	eng, st, store, err := core.OpenSnapshotV3(path, core.Options{
+		BuildMetric: o.BuildMetric, QueryMetric: o.QueryMetric,
+		Workers: o.Workers, QueryWorkers: o.QueryWorkers,
+	}, mmap)
+	if err != nil {
+		return nil, err
+	}
+	var mut *mutable.Index
+	if mmap {
+		mut, err = mutable.NewReadOnly(eng, st, core.SnapshotVersionV3)
+	} else {
+		mut, err = mutable.New(eng, st, core.SnapshotVersionV3)
+	}
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
+	return &Index{mut: mut, store: store}, nil
+}
+
 // Len returns the number of live (searchable) graphs: inserts grow it,
 // deletes shrink it. The id space itself only grows — deleted ids are
 // never reused.
@@ -332,8 +455,20 @@ func (x *Index) Len() int { return x.mut.Len() }
 func (x *Index) GammaStar() float64 { return x.engine().GammaStar }
 
 // Graph returns the indexed graph with the given id (including
-// tombstoned ones — ids stay resolvable forever).
-func (x *Index) Graph(id int) *graph.Graph { return x.engine().DB[id] }
+// tombstoned ones — ids stay resolvable forever). On an mmap-opened
+// index the graph is decoded from the snapshot on each call; hold the
+// returned value rather than re-fetching in a loop.
+func (x *Index) Graph(id int) *graph.Graph {
+	e := x.engine()
+	if id < 0 || id >= len(e.DB) {
+		return nil
+	}
+	if g := e.DB[id]; g != nil {
+		return g
+	}
+	// mmap husk: the database lives in the snapshot store.
+	return e.Graphs.Graph(id)
+}
 
 // Database returns the current database view: Build's graphs followed by
 // every insert, tombstoned members included. Persist it alongside Save's
@@ -368,10 +503,19 @@ func (x *Index) Compact() (int, error) { return x.mut.Compact() }
 func (x *Index) Quiesce() { x.mut.Quiesce() }
 
 // Close stops the background edge optimizer (started lazily by the
-// first write) and waits for it to exit. Reads keep working; writes are
-// rejected afterwards. Indexes that never received a write hold no
-// goroutine, and Close is then a no-op. Safe to call more than once.
-func (x *Index) Close() error { return x.mut.Close() }
+// first write) and waits for it to exit; writes are rejected afterwards.
+// On an index opened with the mmap store it also releases the mapping —
+// such an index must not be searched after Close. For purely in-memory
+// indexes reads keep working. Safe to call more than once.
+func (x *Index) Close() error {
+	err := x.mut.Close()
+	if x.store != nil {
+		if cerr := x.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // Epoch returns the index's mutation epoch: 0 for a never-mutated
 // index, incremented by every applied insert, delete, compaction and

@@ -1,0 +1,150 @@
+package lan
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/lansearch/lan/ged"
+)
+
+// snapshotPath saves idx as a v3 binary snapshot in a temp dir.
+func snapshotPath(t *testing.T, idx *Index, so SnapshotOptions) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "idx.lansnap")
+	if err := idx.SaveSnapshot(path, so); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	return path
+}
+
+func TestSnapshotRoundTripBothTiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds a full index end to end")
+	}
+	idx, db, test := buildSmallIndex(t)
+	path := snapshotPath(t, idx, SnapshotOptions{})
+
+	if snap, err := IsSnapshotFile(path); err != nil || !snap {
+		t.Fatalf("IsSnapshotFile = %v, %v; want true", snap, err)
+	}
+
+	so := SearchOptions{K: 4, Beam: 10}
+	for _, store := range []string{StoreRAM, StoreMMap} {
+		opened, err := OpenSnapshot(path, Options{Store: store})
+		if err != nil {
+			t.Fatalf("OpenSnapshot(%s): %v", store, err)
+		}
+		if opened.Len() != len(db) {
+			t.Fatalf("%s: Len = %d; want %d", store, opened.Len(), len(db))
+		}
+		if opened.FormatVersion() != 3 {
+			t.Fatalf("%s: FormatVersion = %d; want 3", store, opened.FormatVersion())
+		}
+		for qi, q := range test {
+			want, wantStats, err := idx.Search(q, so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotStats, err := opened.Search(q, so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s query %d: results diverge from the index that wrote the snapshot\nwant: %v\ngot:  %v", store, qi, want, got)
+			}
+			if wantStats.NDC != gotStats.NDC {
+				t.Fatalf("%s query %d: NDC %d != %d", store, qi, gotStats.NDC, wantStats.NDC)
+			}
+		}
+		if err := opened.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", store, err)
+		}
+	}
+}
+
+func TestSnapshotMMapIsReadOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds a full index end to end")
+	}
+	idx, _, test := buildSmallIndex(t)
+	path := snapshotPath(t, idx, SnapshotOptions{})
+
+	mm, err := OpenSnapshot(path, Options{}) // mmap is the default tier
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	if _, err := mm.Insert(test[0]); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Insert on mmap index: err = %v; want ErrReadOnly", err)
+	}
+	if err := mm.Delete(0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete on mmap index: err = %v; want ErrReadOnly", err)
+	}
+	if _, err := mm.Compact(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Compact on mmap index: err = %v; want ErrReadOnly", err)
+	}
+	// Searches still serve.
+	if res, _, err := mm.Search(test[0], SearchOptions{K: 3, Beam: 8}); err != nil || len(res) != 3 {
+		t.Fatalf("Search on mmap index: res=%v err=%v", res, err)
+	}
+
+	// The same snapshot opened on the RAM tier accepts writes.
+	ram, err := OpenSnapshot(path, Options{Store: StoreRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ram.Close()
+	if _, err := ram.Insert(test[0]); err != nil {
+		t.Fatalf("Insert on ram-materialized index: %v", err)
+	}
+}
+
+func TestSnapshotPrecisionOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: builds a full index end to end")
+	}
+	idx, _, test := buildSmallIndex(t)
+	if err := idx.SaveSnapshot(filepath.Join(t.TempDir(), "x.lansnap"), SnapshotOptions{Precision: "f16"}); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+	for _, prec := range []string{"f32", "int8"} {
+		path := snapshotPath(t, idx, SnapshotOptions{Precision: prec})
+		opened, err := OpenSnapshot(path, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", prec, err)
+		}
+		res, _, err := opened.Search(test[0], SearchOptions{K: 3, Beam: 8})
+		if err != nil || len(res) != 3 {
+			t.Fatalf("%s: res=%v err=%v", prec, res, err)
+		}
+		// Quantization perturbs only the learned ranking: result distances
+		// stay exact float64 GEDs of the returned graphs under the default
+		// query metric.
+		for _, r := range res {
+			if exact := ged.Hungarian(opened.Graph(r.ID), test[0]); r.Dist != exact {
+				t.Fatalf("%s: result %d dist %v != exact GED %v", prec, r.ID, r.Dist, exact)
+			}
+		}
+		opened.Close()
+	}
+}
+
+func TestOpenSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.lansnap")
+	if err := os.WriteFile(garbage, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(garbage, Options{}); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("garbage: err = %v; want ErrNotSnapshot", err)
+	}
+	if snap, err := IsSnapshotFile(garbage); err != nil || snap {
+		t.Fatalf("IsSnapshotFile(garbage) = %v, %v; want false", snap, err)
+	}
+	if _, err := OpenSnapshot(filepath.Join(dir, "x.lansnap"), Options{Store: "floppy"}); err == nil {
+		t.Fatal("unknown store accepted")
+	}
+}

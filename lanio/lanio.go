@@ -85,6 +85,27 @@ func SaveIndex(path string, idx *lan.Index) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// OpenIndex opens an index file of either supported format, sniffing
+// the content: binary snapshots (written by lan.Index.SaveSnapshot) are
+// self-contained — db may be nil — and open through the storage tier
+// o.Store selects; anything else is treated as a JSON snapshot restored
+// over db with LoadIndex. Binary snapshots from a newer format version
+// are rejected by name (lan.ErrFutureVersion) instead of falling
+// through to a JSON parse error.
+func OpenIndex(path string, db graph.Database, o lan.Options) (*lan.Index, error) {
+	snap, err := lan.IsSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if snap {
+		return lan.OpenSnapshot(path, o)
+	}
+	if db == nil {
+		return nil, fmt.Errorf("lanio: %s is a JSON index snapshot and needs its database (binary snapshots made with SaveSnapshot are self-contained)", path)
+	}
+	return LoadIndex(path, db, o)
+}
+
 // LoadIndex restores an index snapshot from path over db (the database
 // lan-train built it on, reloaded with ReadDatabase). Options supply the
 // GED metrics; the zero value matches lan-train's defaults.

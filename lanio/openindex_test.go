@@ -1,0 +1,134 @@
+package lanio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lansearch/lan"
+	"github.com/lansearch/lan/graph"
+	"github.com/lansearch/lan/internal/dataset"
+)
+
+// snapshotFixture builds a small index and saves it both ways: a JSON
+// index (database supplied separately) and a self-contained binary
+// snapshot.
+func snapshotFixture(t *testing.T) (idx *lan.Index, db graph.Database, test []*graph.Graph, jsonPath, binPath string) {
+	t.Helper()
+	spec := dataset.AIDS(0.002)
+	db = spec.Generate()
+	queries := dataset.Workload(db, spec, 10, 7)
+	train, _, test := dataset.Split(queries)
+	idx, err := BuildIndex(db, train, BuildParams{Dim: 6, M: 4, Epochs: 1, GammaKNN: 5, Seed: 21})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	dir := t.TempDir()
+	jsonPath = filepath.Join(dir, "idx.lan")
+	if err := SaveIndex(jsonPath, idx); err != nil {
+		t.Fatal(err)
+	}
+	binPath = filepath.Join(dir, "idx.lansnap")
+	if err := idx.SaveSnapshot(binPath, lan.SnapshotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return idx, db, test, jsonPath, binPath
+}
+
+// TestOpenIndexFormatNegotiation pins the sniffing contract: OpenIndex
+// routes a binary snapshot to the self-contained opener (no database
+// needed), routes a JSON index to LoadIndex when the database is
+// supplied, and names the problem when it is not.
+func TestOpenIndexFormatNegotiation(t *testing.T) {
+	idx, db, test, jsonPath, binPath := snapshotFixture(t)
+
+	so := lan.SearchOptions{K: 3, Beam: 8}
+	want, _, err := idx.Search(test[0], so)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Binary snapshot: db optional, both tiers.
+	for _, store := range []string{"", lan.StoreRAM, lan.StoreMMap} {
+		opened, err := OpenIndex(binPath, nil, lan.Options{Store: store})
+		if err != nil {
+			t.Fatalf("OpenIndex(binary, store=%q): %v", store, err)
+		}
+		got, _, err := opened.Search(test[0], so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("store=%q: %d results; want %d", store, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("store=%q result %d: %+v != %+v", store, i, got[i], want[i])
+			}
+		}
+		opened.Close()
+	}
+
+	// JSON index with its database: the LoadIndex path.
+	opened, err := OpenIndex(jsonPath, db, lan.Options{})
+	if err != nil {
+		t.Fatalf("OpenIndex(json, db): %v", err)
+	}
+	if opened.Len() != idx.Len() {
+		t.Fatalf("json reload Len = %d; want %d", opened.Len(), idx.Len())
+	}
+
+	// JSON index without a database: a named refusal, not a nil-deref.
+	if _, err := OpenIndex(jsonPath, nil, lan.Options{}); err == nil || !strings.Contains(err.Error(), "database") {
+		t.Fatalf("OpenIndex(json, nil db): err = %v; want a needs-its-database error", err)
+	}
+}
+
+// TestOpenIndexDamagedSnapshots pins the failure modes of binary
+// snapshots at the tool boundary: truncation and bit corruption surface
+// as named errors (never a panic), and snapshots from a future format
+// version are refused by name.
+func TestOpenIndexDamagedSnapshots(t *testing.T) {
+	_, _, _, _, binPath := snapshotFixture(t)
+	raw, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	truncated := filepath.Join(dir, "truncated.lansnap")
+	if err := os.WriteFile(truncated, raw[:len(raw)*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndex(truncated, nil, lan.Options{}); !errors.Is(err, lan.ErrCorrupt) {
+		t.Fatalf("truncated: err = %v; want ErrCorrupt", err)
+	}
+
+	// Flip a byte in the meta section (just past the fixed-size header):
+	// meta is structurally verified at open on both tiers, unlike the
+	// graph payload whose checksum the mmap tier defers so opening does
+	// not page the whole file.
+	corrupt := filepath.Join(dir, "corrupt.lansnap")
+	flipped := append([]byte(nil), raw...)
+	flipped[200] ^= 0xff
+	if err := os.WriteFile(corrupt, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, store := range []string{lan.StoreMMap, lan.StoreRAM} {
+		if _, err := OpenIndex(corrupt, nil, lan.Options{Store: store}); !errors.Is(err, lan.ErrCorrupt) {
+			t.Fatalf("corrupt (%s): err = %v; want ErrCorrupt", store, err)
+		}
+	}
+
+	future := filepath.Join(dir, "future.lansnap")
+	bumped := append([]byte(nil), raw...)
+	bumped[7] = '9' // magic is "LANSNAP" + version digit
+	if err := os.WriteFile(future, bumped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndex(future, nil, lan.Options{}); !errors.Is(err, lan.ErrFutureVersion) {
+		t.Fatalf("future: err = %v; want ErrFutureVersion", err)
+	}
+}

@@ -1,0 +1,232 @@
+// Command bench-diff compares two lan-bench BENCH_*.json summaries and
+// prints the deltas as a markdown report: recall, QPS and NDC per
+// (dataset, beam) cell, build times per dataset, and the storage-tier
+// sweep when both runs carry one. It is a report, not a gate — the exit
+// code is always 0 (only malformed input fails), so CI can surface the
+// numbers on every pull request without flaking on machine noise.
+//
+// Usage:
+//
+//	go run ./scripts/bench-diff                # two newest BENCH_*.json in .
+//	go run ./scripts/bench-diff -new fresh.json  # fresh run vs newest committed
+//	go run ./scripts/bench-diff -old a.json -new b.json
+//
+// With no flags the newest BENCH_*.json is "new" and the second-newest is
+// "old" — i.e. "what did the latest run change". With only -new, "old"
+// defaults to the newest committed BENCH_*.json, the common CI shape.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/lansearch/lan/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench-diff: ")
+	var (
+		oldPath = flag.String("old", "", "baseline BENCH json (default: newest committed BENCH_*.json that is not -new)")
+		newPath = flag.String("new", "", "candidate BENCH json (default: newest BENCH_*.json)")
+		dir     = flag.String("dir", ".", "directory scanned for BENCH_*.json defaults")
+	)
+	flag.Parse()
+
+	committed, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Strings(committed) // timestamps in the name sort chronologically
+
+	if *newPath == "" {
+		if len(committed) == 0 {
+			log.Fatalf("no BENCH_*.json in %s and no -new given", *dir)
+		}
+		*newPath = committed[len(committed)-1]
+	}
+	if *oldPath == "" {
+		for i := len(committed) - 1; i >= 0; i-- {
+			if sameFile(committed[i], *newPath) {
+				continue
+			}
+			*oldPath = committed[i]
+			break
+		}
+		if *oldPath == "" {
+			log.Fatalf("no baseline BENCH_*.json in %s distinct from %s", *dir, *newPath)
+		}
+	}
+
+	oldRep, err := read(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRep, err := read(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("### Benchmark diff\n\n")
+	fmt.Printf("baseline `%s` (%s) → candidate `%s` (%s)\n\n",
+		filepath.Base(*oldPath), orDash(oldRep.GeneratedAt), filepath.Base(*newPath), orDash(newRep.GeneratedAt))
+	//lint:allow floatcmp Scale is a configured protocol constant round-tripped through JSON, never computed
+	if oldRep.Scale != newRep.Scale || oldRep.K != newRep.K || oldRep.Seed != newRep.Seed {
+		fmt.Printf("> ⚠ protocol mismatch (scale %g→%g, k %d→%d, seed %d→%d): deltas compare different workloads\n\n",
+			oldRep.Scale, newRep.Scale, oldRep.K, newRep.K, oldRep.Seed, newRep.Seed)
+	}
+	if oldRep.Store != newRep.Store {
+		fmt.Printf("> ⚠ storage tier changed: %q → %q\n\n", orDash(oldRep.Store), orDash(newRep.Store))
+	}
+
+	diffPoints(oldRep, newRep)
+	diffBuilds(oldRep, newRep)
+	diffStore(oldRep, newRep)
+}
+
+func read(path string) (*experiments.BenchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.BenchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// key aligns rows across runs.
+type key struct {
+	dataset string
+	beam    int
+}
+
+func diffPoints(oldRep, newRep *experiments.BenchReport) {
+	olds := make(map[key]experiments.BenchPoint, len(oldRep.Points))
+	for _, p := range oldRep.Points {
+		olds[key{p.Dataset, p.Beam}] = p
+	}
+	fmt.Printf("| dataset | beam | recall | Δ | QPS | Δ%% | NDC mean | Δ%% |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|---|\n")
+	for _, np := range newRep.Points {
+		k := key{np.Dataset, np.Beam}
+		op, ok := olds[k]
+		if !ok {
+			fmt.Printf("| %s | %d | %.3f | new | %.2f | new | %.1f | new |\n",
+				np.Dataset, np.Beam, np.RecallAtK, np.QPS, np.NDCMean)
+			continue
+		}
+		delete(olds, k)
+		fmt.Printf("| %s | %d | %.3f | %+.3f | %.2f | %s | %.1f | %s |\n",
+			np.Dataset, np.Beam,
+			np.RecallAtK, np.RecallAtK-op.RecallAtK,
+			np.QPS, pct(np.QPS, op.QPS),
+			np.NDCMean, pct(np.NDCMean, op.NDCMean))
+	}
+	for _, k := range sortedKeys(olds) {
+		fmt.Printf("| %s | %d | - | dropped | - | - | - | - |\n", k.dataset, k.beam)
+	}
+	fmt.Println()
+}
+
+func sortedKeys(m map[key]experiments.BenchPoint) []key {
+	out := make([]key, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].dataset != out[j].dataset {
+			return out[i].dataset < out[j].dataset
+		}
+		return out[i].beam < out[j].beam
+	})
+	return out
+}
+
+func diffBuilds(oldRep, newRep *experiments.BenchReport) {
+	olds := make(map[string]experiments.BuildPoint, len(oldRep.Builds))
+	for _, b := range oldRep.Builds {
+		olds[b.Dataset] = b
+	}
+	if len(newRep.Builds) == 0 {
+		return
+	}
+	fmt.Printf("| dataset | build s | Δ%% | parallel speedup | identical |\n")
+	fmt.Printf("|---|---|---|---|---|\n")
+	for _, nb := range newRep.Builds {
+		ob, ok := olds[nb.Dataset]
+		d := "new"
+		if ok {
+			d = pct(nb.ParallelSeconds, ob.ParallelSeconds)
+		}
+		fmt.Printf("| %s | %.2f | %s | %.2fx | %v |\n",
+			nb.Dataset, nb.ParallelSeconds, d, nb.Speedup, nb.Identical)
+	}
+	fmt.Println()
+}
+
+func diffStore(oldRep, newRep *experiments.BenchReport) {
+	if len(newRep.StorePoints) == 0 {
+		return
+	}
+	type skey struct {
+		dataset string
+		quant   string
+	}
+	olds := make(map[skey]experiments.StorePoint, len(oldRep.StorePoints))
+	for _, s := range oldRep.StorePoints {
+		olds[skey{s.Dataset, s.Quant}] = s
+	}
+	fmt.Printf("**Storage tiers** (RAM vs mmap, identical = bit-identical answers)\n\n")
+	fmt.Printf("| dataset | quant | snapshot | identical | recall ε | mmap QPS | Δ%% | mmap RSS | RAM RSS |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|---|---|\n")
+	for _, ns := range newRep.StorePoints {
+		d := "new"
+		if os, ok := olds[skey{ns.Dataset, ns.Quant}]; ok {
+			d = pct(ns.MMapQPS, os.MMapQPS)
+		}
+		fmt.Printf("| %s | %s | %s | %v | %.3f | %.2f | %s | %s | %s |\n",
+			ns.Dataset, ns.Quant, bytesh(uint64(ns.SnapshotBytes)), ns.Identical, ns.RecallEpsilon,
+			ns.MMapQPS, d, bytesh(ns.MMapRSSBytes), bytesh(ns.RAMRSSBytes))
+	}
+	fmt.Println()
+}
+
+// pct renders the relative change new/old as a signed percentage.
+func pct(now, before float64) string {
+	if before == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (now/before-1)*100)
+}
+
+func bytesh(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
