@@ -53,6 +53,8 @@ func main() {
 		queryset = flag.String("queryset", "testdata/bench_queries.json", `pinned per-dataset query sets ("off" samples fresh; explicit -queries also samples fresh)`)
 	)
 	flag.StringVar(&p.Store, "store", "", `storage tier for query measurements: "ram" (default: serve the built engine) or "mmap" (snapshot and reopen memory-mapped)`)
+	flag.StringVar(&p.TraceDir, "trace-dir", "", "run the trace-overhead leg, exporting per-query traces as JSONL segments under this directory (empty disables)")
+	flag.Float64Var(&p.TraceSample, "trace-sample", 1.0, "exporter sampling fraction for the traced leg (1 = export everything)")
 	flag.Float64Var(&p.Scale, "scale", p.Scale, "dataset scale relative to Table I")
 	flag.IntVar(&p.Queries, "queries", p.Queries, "query workload size")
 	flag.IntVar(&p.K, "k", p.K, "answers per query")

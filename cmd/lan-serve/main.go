@@ -19,7 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -33,9 +33,14 @@ import (
 	"github.com/lansearch/lan/lanserve"
 )
 
+// fatal logs one error record and exits (the slog replacement for
+// log.Fatal at startup, before the server owns any state to drain).
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lan-serve: ")
 	var (
 		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		dbPath    = flag.String("db", "", "database file (graph text format, or .json)")
@@ -53,10 +58,13 @@ func main() {
 		slowQ     = flag.Duration("slow-query", 0, "log the full trace of queries at least this slow (0 disables)")
 		writable  = flag.Bool("writable", false, "enable POST /insert and /delete (streaming writes against the served index)")
 		storeTier = flag.String("store", "mmap", "storage tier for binary snapshots: ram or mmap (JSON indexes are always ram)")
+		traceDir  = flag.String("trace-dir", "", "export sampled query traces as JSONL segments into this directory (empty disables)")
+		traceRate = flag.Float64("trace-sample", 1.0, "fraction of queries exported to -trace-dir (slow queries always export)")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "lan-serve")
 	if *idxPath == "" {
-		log.Fatal("need -index (-db too unless the index is a binary snapshot)")
+		fatal(logger, "need -index (-db too unless the index is a binary snapshot)")
 	}
 	if *writable && *storeTier == lan.StoreMMap {
 		// Catch the conflict at startup instead of serving an endpoint
@@ -64,7 +72,7 @@ func main() {
 		// snapshot can still be served writable via -store ram; JSON
 		// indexes are unaffected (always RAM-resident).
 		if snap, err := lan.IsSnapshotFile(*idxPath); err == nil && snap {
-			log.Fatal("-writable needs a RAM-resident index; pass -store ram (mmap-backed indexes are read-only)")
+			fatal(logger, "-writable needs a RAM-resident index; pass -store ram (mmap-backed indexes are read-only)")
 		}
 	}
 
@@ -73,7 +81,7 @@ func main() {
 		var err error
 		db, err = lanio.ReadDatabase(*dbPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "read database", "err", err.Error())
 		}
 	}
 	start := time.Now()
@@ -82,11 +90,15 @@ func main() {
 	// goroutines.
 	idx, err := lanio.OpenIndex(*idxPath, db, lan.Options{Workers: *workers, QueryWorkers: *qWorkers, Store: *storeTier})
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "open index", "err", err.Error())
 	}
 	defer idx.Close()
-	log.Printf("loaded index over %d graphs in %s (gamma* = %.0f)",
-		idx.Len(), time.Since(start).Round(time.Millisecond), idx.GammaStar())
+	logger.Info("index loaded",
+		"graphs", idx.Len(),
+		"load_time", time.Since(start).Round(time.Millisecond).String(),
+		"gamma_star", idx.GammaStar(),
+		"store_tier", *storeTier,
+		"epoch", idx.Epoch())
 
 	cfg := lanserve.Config{
 		Index:       idx,
@@ -103,21 +115,41 @@ func main() {
 		cfg.Writer = idx
 	}
 	if !*quietLog {
-		cfg.Logf = log.Printf
+		cfg.Logger = logger
+	}
+	if *traceDir != "" {
+		exp, err := lan.NewTraceExporter(lan.TraceExportConfig{
+			Dir:    *traceDir,
+			Sample: *traceRate,
+			SlowUS: slowQ.Microseconds(),
+		})
+		if err != nil {
+			fatal(logger, "open trace exporter", "err", err.Error())
+		}
+		// Closed after the server drains, so every submitted trace is
+		// flushed before exit.
+		defer func() {
+			if err := exp.Close(); err != nil {
+				//lint:allow slogqid exporter shutdown is not query-scoped
+				logger.Warn("trace exporter close", "err", err.Error())
+			}
+		}()
+		cfg.Exporter = exp
+		logger.Info("trace export enabled", "trace_dir", *traceDir, "sample", *traceRate)
 	}
 	srv, err := lanserve.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "configure server", "err", err.Error())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "listen", "addr", *addr, "err", err.Error())
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	// The resolved address line is load-bearing: with -addr :0 it is how
 	// callers (the serve-smoke driver, scripts) learn the actual port.
-	log.Printf("listening on %s", ln.Addr())
+	logger.Info(fmt.Sprintf("listening on %s", ln.Addr()), "store_tier", *storeTier, "epoch", idx.Epoch())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -126,17 +158,17 @@ func main() {
 
 	select {
 	case err := <-serveErr:
-		log.Fatal(err)
+		fatal(logger, "serve", "err", err.Error())
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining up to %s)", *grace)
+	logger.Info("shutting down", "grace", grace.String())
 	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("forced shutdown: %v", err)
+		logger.Error("forced shutdown", "err", err.Error())
 		if cerr := httpSrv.Close(); cerr != nil && !errors.Is(cerr, http.ErrServerClosed) {
-			log.Printf("close: %v", cerr)
+			logger.Error("close", "err", cerr.Error())
 		}
 		os.Exit(1)
 	}

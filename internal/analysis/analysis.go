@@ -54,7 +54,7 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicField, CtxProp, FloatCmp, GlobalRand, GoLeak,
-		HotAlloc, LibPanic, MatDim, MetricName,
+		HotAlloc, LibPanic, MatDim, MetricName, SlogQID,
 	}
 }
 

@@ -35,6 +35,7 @@ func TestFixtures(t *testing.T) {
 		{LibPanic, "libpanic"},
 		{MatDim, "matdim"},
 		{MetricName, "metricname"},
+		{SlogQID, "lanserveslog"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -124,7 +125,7 @@ func fixtureImporter(t *testing.T, fset *token.FileSet) types.Importer {
 	fixtureExports.once.Do(func() {
 		cmd := exec.Command("go", "list", "-deps", "-export", "-f",
 			"{{if .Export}}{{.ImportPath}} {{.Export}}{{end}}",
-			"context", "fmt", "math/rand", "sort", "sync", "sync/atomic", matPkgPath, obsPkgPath)
+			"context", "fmt", "log/slog", "math/rand", "sort", "sync", "sync/atomic", matPkgPath, obsPkgPath)
 		out, err := cmd.Output()
 		if err != nil {
 			fixtureExports.err = fmt.Errorf("go list -export: %v", err)

@@ -1,0 +1,57 @@
+// Package fixture exercises the slogqid analyzer: every log/slog emission
+// on the serve path must carry a query_id attribute (literal, named
+// constant, or inside a slog.String attr), non-query sites opt out with
+// //lint:allow slogqid, and unrelated types that share slog's method names
+// must not be flagged. The fixture package path contains "lanserve", which
+// is what puts it in the analyzer's scope.
+package fixture
+
+import (
+	"context"
+	"log/slog"
+)
+
+// qidKey shows that the attribute key may be any compile-time constant,
+// not just a literal.
+const qidKey = "query_id"
+
+func perQuery(log *slog.Logger, ctx context.Context, qid string) {
+	log.Info("search ok", "query_id", qid)
+	log.Warn("search failed", qidKey, qid)
+	log.Error("search failed", "code", 500) // want "omits the query_id attribute"
+	log.Debug("cache miss", "shard", 3)     // want "omits the query_id attribute"
+	log.InfoContext(ctx, "done", "query_id", qid)
+	log.WarnContext(ctx, "slow query") // want "omits the query_id attribute"
+	log.Log(ctx, slog.LevelInfo, "routed", "query_id", qid)
+	log.LogAttrs(ctx, slog.LevelInfo, "routed", slog.String("query_id", qid))
+	log.LogAttrs(ctx, slog.LevelInfo, "routed", slog.Int("shard", 1)) // want "omits the query_id attribute"
+}
+
+// packageLevel covers emissions through the slog package itself, not a
+// Logger value.
+func packageLevel(qid string) {
+	slog.Info("search ok", "query_id", qid)
+	slog.Warn("refused") // want "omits the query_id attribute"
+}
+
+// valueReceiver covers a non-pointer Logger value.
+func valueReceiver(log slog.Logger) {
+	log.Info("rebalanced") // want "omits the query_id attribute"
+}
+
+// suppressed is the opt-out path for log sites with no query in scope.
+func suppressed(log *slog.Logger) {
+	//lint:allow slogqid startup log has no query scope
+	log.Info("listening")
+}
+
+// notSlog shares slog's method names on an unrelated type; construction
+// helpers like With are not emissions either.
+type notSlog struct{}
+
+func (notSlog) Info(msg string, args ...any) {}
+
+func unrelated(l notSlog, log *slog.Logger) *slog.Logger {
+	l.Info("free-form")
+	return log.With("component", "lanserve")
+}

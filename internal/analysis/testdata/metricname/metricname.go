@@ -104,3 +104,19 @@ func unrelatedReceiver(d decoy) {
 	d.Counter("whatever", "Not a metric registration.")
 	d.Gauge("alsoWhatever", "Not a metric registration.")
 }
+
+// traceFamily mirrors the exporter's lan_obs_trace_* counters: the naming
+// rule covers the trace-pipeline family like any other, including the
+// counter _total suffix.
+func traceFamily(r *obs.Registry) {
+	dropped := r.Counter("lan_obs_trace_dropped_total", "Traces dropped by the bounded queue.")
+	exported := r.Counter("lan_obs_trace_exported_total", "Traces written to segments.")
+	segments := r.Counter("lan_obs_trace_segments_total", "Segment files opened.")
+	queue := r.Gauge("lan_obs_trace_queue_depth", "Traces waiting for the writer.")
+	bad := r.Counter("lan_obs_trace_dropped", "Counter without _total.") // want "must end in _total"
+	dropped.Inc()
+	exported.Inc()
+	segments.Inc()
+	queue.Set(0)
+	bad.Inc()
+}

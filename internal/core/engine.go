@@ -381,13 +381,20 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 	trace := obs.From(ctx)
 	trace.SetConfig(so.Initial.String(), so.Routing.String(), so.K, so.Beam)
 	tm := obs.NewTimedMetric(e.Opts.QueryMetric)
-	cache := pg.NewDistCacheStore(tm, e.Graphs, q)
+	// Candidate fetches go through the traced wrapper only when a trace is
+	// attached, keeping the disabled path on the store's direct calls.
+	graphs := pg.GraphStore(e.Graphs)
+	if trace != nil {
+		graphs = tracedStore{GraphStore: e.Graphs, trace: trace}
+	}
+	cache := pg.NewDistCacheStore(tm, graphs, q)
 	var stats QueryStats
 	if err := ctx.Err(); err != nil {
 		stats.Total = time.Since(start)
 		return nil, stats, err
 	}
 
+	initSpan := trace.StartSpan("initial")
 	// The query's compressed GNN-graph is shared by every learned
 	// component this search touches; building it here means the selector
 	// and each ranking call reuse one encoding instead of rebuilding it.
@@ -395,7 +402,9 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 	if so.Initial == LANIS || so.Initial == LANISBasic || so.Routing == LANRoute {
 		cgStart := time.Now()
 		qcg = e.Store.Query(q)
-		stats.ModelTime += time.Since(cgStart)
+		cgTime := time.Since(cgStart)
+		stats.ModelTime += cgTime
+		trace.RecordSpan("embed", cgStart, cgTime, 0, 1)
 	}
 
 	// Initial node.
@@ -412,7 +421,7 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 			QueryCG:    qcg,
 		}
 		before := tm.Elapsed()
-		entry = sel.Select(ctx, e.Graphs, q, cache)
+		entry = sel.Select(ctx, graphs, q, cache)
 		distInModels = tm.Elapsed() - before
 	case HNSWIS:
 		entry = e.Index.EntryPointPooled(ctx, cache, pool)
@@ -431,7 +440,7 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 	stats.ModelTime += time.Since(modelStart) - distInModels
 	stats.InitNDC = cache.NDC()
 	stats.InitTime = time.Since(start)
-	trace.Stage("initial", stats.InitTime, stats.InitNDC)
+	trace.EndSpan(initSpan, stats.InitNDC)
 	if err := ctx.Err(); err != nil {
 		stats.NDC = cache.NDC()
 		stats.DistTime = tm.Elapsed()
@@ -441,6 +450,7 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 
 	// Routing.
 	routeStart := time.Now()
+	routeSpan := trace.StartSpan("routing")
 	var (
 		res []pg.Result
 		err error
@@ -464,11 +474,13 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 		// The route layer counts ranking invocations (route.Stats.
 		// RankerCalls), the same quantity the oracle path reports, so the
 		// model ranker no longer keeps its own per-neighbor tally.
-		inner := e.Mrk.Ranker(e.Graphs, q, qcg, nil)
+		inner := e.Mrk.Ranker(graphs, q, qcg, nil)
 		ranker := route.RankerFunc(func(node int, neighbors []int, d float64) [][]int {
 			rs := time.Now()
 			b := inner.Batches(node, neighbors, d)
-			stats.ModelTime += time.Since(rs)
+			rd := time.Since(rs)
+			stats.ModelTime += rd
+			trace.RecordSpan("embed", rs, rd, 0, len(neighbors))
 			return b
 		})
 		var s route.Stats
@@ -479,7 +491,7 @@ func (e *Engine) SearchPooled(ctx context.Context, q *graph.Graph, so SearchOpti
 	stats.RouteNDC = stats.NDC - stats.InitNDC
 	stats.RouteTime = time.Since(routeStart)
 	stats.DistCacheHits = cache.Hits()
-	trace.Stage("routing", stats.RouteTime, stats.RouteNDC)
+	trace.EndSpan(routeSpan, stats.RouteNDC)
 	stats.DistTime = tm.Elapsed()
 	stats.Total = time.Since(start)
 	trace.Finalize(stats.NDC, len(res), stats.Total)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
@@ -109,6 +110,30 @@ type MutatePoint struct {
 	FinalEpoch        uint64  `json:"final_epoch"`
 }
 
+// TracePoint is one dataset's trace-overhead measurement: the bench
+// workload answered once untraced and once with a per-query trace
+// recorded and exported through the async JSONL exporter, with the p50
+// latency regression between the legs and a bit-identity check over every
+// query's answers and NDC (tracing must only observe).
+type TracePoint struct {
+	Dataset string  `json:"dataset"`
+	Queries int     `json:"queries"`
+	Beam    int     `json:"beam"`
+	Sample  float64 `json:"sample"`
+	// Per-leg p50 latency over each query's min-of-k, and the regression
+	// in percent as the median of per-query paired on/off ratios — pairing
+	// compares every query against itself, so query-to-query workload
+	// spread cancels out of the estimate (negative when the traced leg
+	// happened to be faster).
+	OffP50us      float64 `json:"off_p50_us"`
+	OnP50us       float64 `json:"on_p50_us"`
+	P50RegressPct float64 `json:"p50_regress_pct"`
+	// Exported counts the traces replayed back from the segment files
+	// after the run — the export round-trip check.
+	Exported  int  `json:"exported"`
+	Identical bool `json:"identical"`
+}
+
 // MutationMetrics snapshots the process-wide write-path counters
 // (internal/obs) after the benchmark ran; like RoutingMetrics they
 // describe the whole process, not one dataset.
@@ -161,7 +186,10 @@ type BenchReport struct {
 	// when it ran in the same process: per (size, quantization) cell,
 	// RAM-vs-mmap identity, quantization recall epsilon, and resident
 	// memory of both tiers.
-	StorePoints []StorePoint    `json:"store_points,omitempty"`
+	StorePoints []StorePoint `json:"store_points,omitempty"`
+	// TracePoints carries the trace-overhead leg (Protocol.TraceDir set):
+	// per dataset, the p50 cost of tracing + export at the widest beam.
+	TracePoints []TracePoint    `json:"trace_points,omitempty"`
 	Routing     RoutingMetrics  `json:"routing_metrics"`
 	Mutation    MutationMetrics `json:"mutation_metrics"`
 }
@@ -226,6 +254,13 @@ func Bench(p Protocol, cache *EnvCache) (*BenchReport, error) {
 			return nil, err
 		}
 		rep.MutatePoints = append(rep.MutatePoints, mp)
+		if p.TraceDir != "" && len(p.Beams) > 0 {
+			tp, err := tracePoint(env, p.Beams[len(p.Beams)-1])
+			if err != nil {
+				return nil, err
+			}
+			rep.TracePoints = append(rep.TracePoints, tp)
+		}
 	}
 	rep.Store = p.Store
 	rep.StorePoints = cache.storePoints
@@ -307,6 +342,135 @@ func mutatePoint(env *Env) (MutatePoint, error) {
 		BatchRecall:    batch / n, IncrementalRecall: incr / n,
 		FinalEpoch: x.Epoch(),
 	}, nil
+}
+
+// tracePoint measures what always-on tracing costs: the dataset's bench
+// workload at the given beam, answered untraced and then with a per-query
+// trace recorded and handed to an exporter writing JSONL segments under
+// Protocol.TraceDir/<dataset>. Sampling uses Protocol.TraceSample (0
+// defaults to 1 inside the exporter — the worst case). Results and NDC
+// must be bit-identical between the legs; the exported segments are
+// replayed afterwards to count what reached disk.
+func tracePoint(env *Env, beam int) (TracePoint, error) {
+	p := env.Protocol
+	so := core.SearchOptions{K: p.K, Beam: beam, Initial: core.LANIS, Routing: core.LANRoute}
+
+	type outcome struct {
+		res []pg.Result
+		ndc int
+	}
+	// Warm up once (see benchPoint) so one-time setup skews neither leg.
+	if len(env.Test) > 0 {
+		env.Engine.Search(env.Test[0], so)
+	}
+
+	run := func(traced bool, exp *obs.Exporter) ([]outcome, []float64, error) {
+		outs := make([]outcome, len(env.Test))
+		lat := make([]float64, len(env.Test)) // microseconds
+		for i, q := range env.Test {
+			//lint:allow ctxprop bench harness entry point; experiment queries run to completion by design
+			ctx := context.Background()
+			var t *obs.Trace
+			if traced {
+				t = obs.NewTrace(fmt.Sprintf("%s-%d", env.Spec.Name, i))
+				ctx = obs.With(ctx, t)
+			}
+			start := time.Now()
+			res, stats, err := env.Engine.SearchPooled(ctx, q, so, nil)
+			lat[i] = float64(time.Since(start).Microseconds())
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: %s trace leg: %w", env.Spec.Name, err)
+			}
+			if exp != nil {
+				exp.Submit(t)
+			}
+			outs[i] = outcome{res: res, ndc: stats.NDC}
+		}
+		return outs, lat, nil
+	}
+
+	// Per-query distance work is deterministic, so the run-to-run spread at
+	// second-scale latencies is scheduler and GC noise, not tracing cost.
+	// Interleave off/on legs (drift hits both alike), alternate which leg
+	// goes first each repetition, and force a collection before every leg
+	// so sync.Pool eviction (the GED beam arenas) cannot land on one side
+	// systematically; each query keeps its minimum across repetitions —
+	// the usual min-of-k estimator — so the paired comparison below
+	// measures the overhead, not the noise floor.
+	const traceReps = 3
+	dir := filepath.Join(p.TraceDir, env.Spec.Name)
+	exp, err := obs.NewExporter(obs.ExportConfig{Dir: dir, Sample: p.TraceSample})
+	if err != nil {
+		return TracePoint{}, err
+	}
+	offLat := make([]float64, len(env.Test))
+	onLat := make([]float64, len(env.Test))
+	for i := range offLat {
+		offLat[i], onLat[i] = math.Inf(1), math.Inf(1)
+	}
+	minInto := func(dst, lat []float64) {
+		for i := range dst {
+			if lat[i] < dst[i] {
+				dst[i] = lat[i]
+			}
+		}
+	}
+	var ref []outcome
+	identical := true
+	for rep := 0; rep < traceReps; rep++ {
+		for _, traced := range [2]bool{rep%2 == 1, rep%2 == 0} {
+			var e *obs.Exporter
+			if traced && rep == 0 {
+				e = exp // export once; later reps only measure
+			}
+			runtime.GC()
+			out, lat, err := run(traced, e)
+			if err != nil {
+				exp.Close()
+				return TracePoint{}, err
+			}
+			if ref == nil {
+				ref = out
+			} else if !reflect.DeepEqual(out, ref) {
+				identical = false
+			}
+			if traced {
+				minInto(onLat, lat)
+			} else {
+				minInto(offLat, lat)
+			}
+		}
+	}
+	if err := exp.Close(); err != nil {
+		return TracePoint{}, err
+	}
+	stats, err := obs.ReadSegments(dir, nil)
+	if err != nil {
+		return TracePoint{}, fmt.Errorf("experiments: %s trace replay: %w", env.Spec.Name, err)
+	}
+
+	tp := TracePoint{
+		Dataset: env.Spec.Name, Queries: len(env.Test), Beam: beam,
+		Sample:    p.TraceSample,
+		OffP50us:  percentile(offLat, 0.5),
+		OnP50us:   percentile(onLat, 0.5),
+		Exported:  stats.Traces,
+		Identical: identical,
+	}
+	// The regression estimate pairs each query with itself: the median
+	// on/off ratio of per-query minima. Comparing independent p50s instead
+	// would let the slowest queries' noise (seconds-scale GED work on a
+	// shared box) dominate the delta; the paired median is robust to it.
+	ratios := make([]float64, 0, len(offLat))
+	for i := range offLat {
+		if offLat[i] > 0 && !math.IsInf(offLat[i], 1) && !math.IsInf(onLat[i], 1) {
+			ratios = append(ratios, onLat[i]/offLat[i])
+		}
+	}
+	if len(ratios) > 0 {
+		tp.P50RegressPct = 100 * (percentile(ratios, 0.5) - 1)
+	}
+	return tp, nil
 }
 
 // TraceSamples runs one traced query per dataset (the first test query,

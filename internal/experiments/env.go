@@ -76,6 +76,15 @@ type Protocol struct {
 	// snapshot and reopens it memory-mapped, so every figure and bench
 	// point exercises the on-disk fetch path.
 	Store string
+	// TraceDir, when set, enables the trace-overhead benchmark leg: the
+	// bench workload is answered once untraced and once with per-query
+	// traces exported as JSONL segments under TraceDir, and the p50
+	// regression is reported (BenchReport.TracePoints).
+	TraceDir string
+	// TraceSample is the exporter's sampling fraction for the traced leg
+	// (0 defaults to 1: export everything — the worst case the overhead
+	// gate should measure).
+	TraceSample float64
 }
 
 // DefaultProtocol returns a laptop-sized configuration.

@@ -223,8 +223,10 @@ func (x *Index) SearchPooled(ctx context.Context, q *graph.Graph, cache *pg.Dist
 		verify = k
 	}
 	trace := obs.From(ctx)
-	stageStart := time.Now()
+	beamSpan := trace.StartSpan("l2_beam")
+	embedStart := time.Now()
 	qv := x.Encoder.Embed(q)
+	trace.RecordSpan("embed", embedStart, time.Since(embedStart), 0, 1)
 	entry := 0
 	trace.SetEntry(entry)
 
@@ -258,10 +260,10 @@ func (x *Index) SearchPooled(ctx context.Context, q *graph.Graph, cache *pg.Dist
 		}
 	}
 
-	// The vector stage pays no GEDs, so its stage NDC is zero by
+	// The vector stage pays no GEDs, so its span NDC is zero by
 	// construction.
-	trace.Stage("l2_beam", time.Since(stageStart), 0)
-	stageStart = time.Now()
+	trace.EndSpan(beamSpan, 0)
+	verifySpan := trace.StartSpan("verify")
 
 	// GED verification of the best vector candidates.
 	ndcBefore := cache.NDC()
@@ -292,7 +294,7 @@ func (x *Index) SearchPooled(ctx context.Context, q *graph.Graph, cache *pg.Dist
 		verified = verified[:k]
 	}
 	verifyNDC := cache.NDC() - ndcBefore
-	trace.Stage("verify", time.Since(stageStart), verifyNDC)
+	trace.EndSpan(verifySpan, verifyNDC)
 	if verifyNDC > 0 {
 		obs.Query().NDCVerify.Add(uint64(verifyNDC))
 	}

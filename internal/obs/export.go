@@ -1,0 +1,453 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Trace export: a durable, crash-tolerant JSONL pipeline for per-query
+// traces. An Exporter drains a bounded queue on one background goroutine
+// into size-rotated segment files; the query path only ever does a
+// non-blocking channel send, so a slow disk drops traces (counted in
+// lan_obs_trace_dropped_total) instead of slowing searches. Each segment
+// opens with a versioned header line so replay can reject formats it does
+// not understand, and replay tolerates a truncated final record — the
+// shape a crash mid-write leaves behind.
+
+// segmentFormat and segmentVersion identify the export format in each
+// segment's header line. Bump the version on incompatible record changes;
+// ReadSegmentFile refuses headers from the future.
+const (
+	segmentFormat  = "lan.trace"
+	segmentVersion = 1
+)
+
+// segmentHeader is the first line of every segment file.
+type segmentHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Segment int    `json:"segment"`
+}
+
+// ExportConfig configures an Exporter. Dir is required; everything else
+// has a serving-safe default.
+type ExportConfig struct {
+	// Dir is the segment directory (created if absent).
+	Dir string
+	// MaxSegmentBytes rotates to a new segment file once the current one
+	// reaches this size (default 64 MiB).
+	MaxSegmentBytes int64
+	// QueueDepth bounds the async hand-off queue; Submit drops (and
+	// counts) traces when it is full (default 256).
+	QueueDepth int
+	// Sample is the probabilistic sampling rate in [0,1] (default 1 =
+	// export everything). The decision hashes the trace's query id, so it
+	// is deterministic per query and needs no RNG.
+	Sample float64
+	// SlowUS, when positive, exports every trace whose TotalUS reaches it
+	// regardless of Sample (always-sample-slow-queries).
+	SlowUS int64
+	// Registry receives the lan_obs_trace_* counters (default Default()).
+	Registry *Registry
+}
+
+// Exporter writes sampled traces to size-rotated JSONL segment files from
+// a single background goroutine. Submit never blocks; Close flushes and
+// stops. Safe for concurrent use.
+type Exporter struct {
+	cfg ExportConfig
+
+	ch   chan *Trace
+	done chan struct{}
+
+	dropped  *Counter
+	exported *Counter
+	segments *Counter
+	failed   *Counter
+
+	mu     sync.Mutex // guards closed (Submit vs Close)
+	closed bool
+
+	// Writer-goroutine state; never touched by other goroutines.
+	seq     int
+	file    *os.File
+	w       *bufio.Writer
+	written int64
+}
+
+// NewExporter creates Dir if needed, picks the next free segment number
+// (so restarts append new segments instead of clobbering old ones) and
+// starts the writer goroutine.
+func NewExporter(cfg ExportConfig) (*Exporter, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("obs: ExportConfig.Dir is required")
+	}
+	if cfg.MaxSegmentBytes <= 0 {
+		cfg.MaxSegmentBytes = 64 << 20
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Sample <= 0 && cfg.SlowUS <= 0 {
+		cfg.Sample = 1
+	}
+	if cfg.Sample > 1 {
+		cfg.Sample = 1
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = Default()
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	seq, err := nextSegmentSeq(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	r := cfg.Registry
+	e := &Exporter{
+		cfg:      cfg,
+		ch:       make(chan *Trace, cfg.QueueDepth),
+		done:     make(chan struct{}),
+		seq:      seq,
+		dropped:  r.Counter("lan_obs_trace_dropped_total", "Traces dropped because the export queue was full (the query path never blocks on the trace disk)."),
+		exported: r.Counter("lan_obs_trace_exported_total", "Traces durably written to JSONL segments."),
+		segments: r.Counter("lan_obs_trace_segments_total", "Trace segment files opened (one per rotation)."),
+		failed:   r.Counter("lan_obs_trace_write_errors_total", "Trace records lost to segment write or rotation errors."),
+	}
+	go e.run()
+	return e, nil
+}
+
+// Dir returns the segment directory the exporter writes to.
+func (e *Exporter) Dir() string { return e.cfg.Dir }
+
+// Submit offers one finalized trace for export. It decides sampling,
+// then enqueues without blocking: a full queue drops the trace and
+// increments lan_obs_trace_dropped_total. Nil-safe on both sides; calling
+// after Close is a no-op.
+func (e *Exporter) Submit(t *Trace) {
+	if e == nil || t == nil {
+		return
+	}
+	if !e.sampled(t) {
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	select {
+	case e.ch <- t:
+	default:
+		e.dropped.Inc()
+	}
+	e.mu.Unlock()
+}
+
+// sampled applies the probabilistic sampling knob plus the slow-query
+// override. The decision hashes the query id (FNV-1a), so it is
+// deterministic for a given id and free of shared RNG state.
+func (e *Exporter) sampled(t *Trace) bool {
+	if e.cfg.SlowUS > 0 && t.TotalUS >= e.cfg.SlowUS {
+		return true
+	}
+	if e.cfg.Sample >= 1 {
+		return true
+	}
+	if e.cfg.Sample <= 0 {
+		return false
+	}
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(t.QueryID); i++ {
+		h ^= uint64(t.QueryID[i])
+		h *= 1099511628211
+	}
+	// FNV's high bits mix poorly over short, similar ids; finish with an
+	// avalanche pass so the sampled fraction tracks the knob.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return float64(h>>11)/float64(1<<53) < e.cfg.Sample
+}
+
+// Close stops accepting traces, drains the queue, flushes and closes the
+// current segment. Safe to call twice; nil-safe.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.done
+		return nil
+	}
+	e.closed = true
+	close(e.ch)
+	e.mu.Unlock()
+	<-e.done
+	var err error
+	if e.w != nil {
+		err = e.w.Flush()
+	}
+	if e.file != nil {
+		if cerr := e.file.Close(); err == nil {
+			err = cerr
+		}
+		e.file = nil
+		e.w = nil
+	}
+	return err
+}
+
+// run is the writer goroutine: it drains the queue until Close closes it.
+func (e *Exporter) run() {
+	defer close(e.done)
+	for t := range e.ch {
+		e.writeTrace(t)
+	}
+}
+
+// writeTrace appends one record, rotating first when the current segment
+// is full. Each record is flushed so segments are readable (modulo a
+// truncated tail) even while the process is alive or after a crash.
+func (e *Exporter) writeTrace(t *Trace) {
+	data, err := t.JSON()
+	if err != nil {
+		e.failed.Inc()
+		return
+	}
+	if e.file != nil && e.written+int64(len(data))+1 > e.cfg.MaxSegmentBytes {
+		e.w.Flush()
+		e.file.Close()
+		e.file, e.w = nil, nil
+	}
+	if e.file == nil {
+		if err := e.openSegment(); err != nil {
+			e.failed.Inc()
+			return
+		}
+	}
+	n, err := e.w.Write(append(data, '\n'))
+	e.written += int64(n)
+	if err == nil {
+		err = e.w.Flush()
+	}
+	if err != nil {
+		e.failed.Inc()
+		return
+	}
+	e.exported.Inc()
+}
+
+// openSegment starts segment e.seq: creates the file and writes the
+// versioned header line.
+func (e *Exporter) openSegment() error {
+	path := filepath.Join(e.cfg.Dir, segmentName(e.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	hdr, err := json.Marshal(segmentHeader{Format: segmentFormat, Version: segmentVersion, Segment: e.seq})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	n, err := w.Write(append(hdr, '\n'))
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	e.file, e.w, e.written = f, w, int64(n)
+	e.seq++
+	e.segments.Inc()
+	return nil
+}
+
+// segmentName formats the file name of segment seq.
+func segmentName(seq int) string { return fmt.Sprintf("traces-%06d.jsonl", seq) }
+
+// nextSegmentSeq returns one past the highest existing segment number in
+// dir, so a restarted process appends rather than overwrites.
+func nextSegmentSeq(dir string) (int, error) {
+	names, err := segmentFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	next := 0
+	for _, name := range names {
+		var seq int
+		if _, err := fmt.Sscanf(filepath.Base(name), "traces-%d.jsonl", &seq); err == nil && seq >= next {
+			next = seq + 1
+		}
+	}
+	return next, nil
+}
+
+// segmentFiles lists dir's segment files in segment order.
+func segmentFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, en := range entries {
+		name := en.Name()
+		if en.IsDir() || !strings.HasPrefix(name, "traces-") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, name))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReplayStats summarizes one replay pass over exported segments.
+type ReplayStats struct {
+	// Segments is the number of segment files read.
+	Segments int
+	// Traces is the number of complete trace records decoded.
+	Traces int
+	// Truncated counts segments whose final record was cut short (a crash
+	// mid-write); the partial record is skipped, not an error.
+	Truncated int
+}
+
+// ReadSegments replays every trace in dir's segments in write order,
+// invoking fn per decoded trace. A truncated final record in any segment
+// is skipped and counted in the returned stats; corruption anywhere else
+// is an error. fn returning an error aborts the replay.
+func ReadSegments(dir string, fn func(*Trace) error) (ReplayStats, error) {
+	var stats ReplayStats
+	names, err := segmentFiles(dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, name := range names {
+		s, err := ReadSegmentFile(name, fn)
+		stats.Segments += s.Segments
+		stats.Traces += s.Traces
+		stats.Truncated += s.Truncated
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// ReadSegmentFile replays one segment file. The header line is validated
+// (format and version); each following line decodes to one Trace. A
+// malformed or partial record at the very end of the file is counted as
+// truncation and skipped — that is what an interrupted write leaves — but
+// a malformed record with complete records after it is corruption and an
+// error.
+func ReadSegmentFile(path string, fn func(*Trace) error) (ReplayStats, error) {
+	var stats ReplayStats
+	f, err := os.Open(path)
+	if err != nil {
+		return stats, err
+	}
+	defer f.Close()
+	stats.Segments = 1
+
+	r := bufio.NewReader(f)
+	line, err := readLine(r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			// Empty or header-truncated segment: treat as all-truncated.
+			stats.Truncated = 1
+			return stats, nil
+		}
+		return stats, err
+	}
+	var hdr segmentHeader
+	if jerr := json.Unmarshal(line, &hdr); jerr != nil || hdr.Format != segmentFormat {
+		return stats, fmt.Errorf("%s: not a lan.trace segment (bad header)", path)
+	}
+	if hdr.Version > segmentVersion {
+		return stats, fmt.Errorf("%s: segment version %d is newer than this reader (%d)", path, hdr.Version, segmentVersion)
+	}
+
+	var pendingErr error // decode error held until we know whether it is the tail
+	for {
+		line, err := readLine(r)
+		if errors.Is(err, io.EOF) && len(line) == 0 {
+			if pendingErr != nil {
+				stats.Truncated = 1
+			}
+			return stats, nil
+		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			return stats, err
+		}
+		if pendingErr != nil {
+			// A record decoded as garbage but was not the last line: real
+			// corruption, not a crash tail.
+			return stats, pendingErr
+		}
+		if len(line) == 0 {
+			continue
+		}
+		t := new(Trace)
+		if jerr := json.Unmarshal(line, t); jerr != nil {
+			pendingErr = fmt.Errorf("%s: corrupt trace record: %v", path, jerr)
+			if errors.Is(err, io.EOF) {
+				stats.Truncated = 1
+				return stats, nil
+			}
+			continue
+		}
+		stats.Traces++
+		if fn != nil {
+			if ferr := fn(t); ferr != nil {
+				return stats, ferr
+			}
+		}
+		if errors.Is(err, io.EOF) {
+			return stats, nil
+		}
+	}
+}
+
+// readLine reads one newline-delimited line (newline stripped). At EOF
+// the final unterminated bytes, if any, are returned with io.EOF.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, err
+}
+
+// LookupExported scans dir's segments for the most recent trace with the
+// given query id (the /debug/trace/<id> fallback when the in-memory ring
+// has evicted it). Returns nil when absent.
+func LookupExported(dir, id string) (*Trace, error) {
+	var found *Trace
+	_, err := ReadSegments(dir, func(t *Trace) error {
+		if t.QueryID == id {
+			found = t
+		}
+		return nil
+	})
+	return found, err
+}

@@ -284,16 +284,34 @@ func (i *info) write(w io.Writer, name string) {
 // Histogram is a Prometheus-style cumulative histogram with fixed bucket
 // bounds. Observe is lock-free and allocation-free: bucket counts are
 // atomic and the sum is maintained by compare-and-swap on its float bits.
+//
+// A histogram can optionally carry exemplars: ObserveExemplar retains the
+// trace id of a recent observation per bucket, and the exposition renders
+// it in the OpenMetrics exemplar syntax so a p99 bucket links straight to
+// an exported trace (resolve it via /debug/trace/<id> or lan-trace).
 type Histogram struct {
 	h      string
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits
 	count  atomic.Uint64
+	// exemplars[i] is the most recent exemplar observed into bucket i
+	// (nil until ObserveExemplar lands one there).
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observed value to the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 func newHistogram(help string, bounds []float64) *Histogram {
-	return &Histogram{h: help, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		h: help, bounds: bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one value. NaN observations are dropped.
@@ -310,6 +328,38 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one value and retains traceID as the exemplar
+// of the bucket the value lands in. An empty traceID degrades to a plain
+// Observe. The exemplar store is one atomic pointer per bucket (last
+// writer wins), so the call stays lock-free; it does allocate the
+// exemplar record, which is why only traced observations go through it —
+// the untraced hot path keeps using Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+}
+
+// Exemplar returns the retained trace id and value of the bucket with the
+// given index (0..len(bounds), the last being +Inf), or ok=false when
+// that bucket has none.
+func (h *Histogram) Exemplar(bucket int) (traceID string, value float64, ok bool) {
+	if bucket < 0 || bucket >= len(h.exemplars) {
+		return "", 0, false
+	}
+	e := h.exemplars[bucket].Load()
+	if e == nil {
+		return "", 0, false
+	}
+	return e.traceID, e.value, true
 }
 
 // Count returns the number of observations.
@@ -354,12 +404,25 @@ func (h *Histogram) write(w io.Writer, name string) {
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d", name, formatFloat(b), cum)
+		h.writeExemplar(w, i)
+		fmt.Fprintln(w)
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d", name, cum)
+	h.writeExemplar(w, len(h.bounds))
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// writeExemplar appends bucket i's exemplar in the OpenMetrics syntax
+// (` # {trace_id="..."} <value>`); buckets without one render unchanged,
+// keeping the exposition plain Prometheus text until exemplars exist.
+func (h *Histogram) writeExemplar(w io.Writer, i int) {
+	if e := h.exemplars[i].Load(); e != nil {
+		fmt.Fprintf(w, " # {trace_id=%q} %s", e.traceID, formatFloat(e.value))
+	}
 }
 
 func formatFloat(v float64) string {

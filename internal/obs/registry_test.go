@@ -161,3 +161,53 @@ func TestFormatFloatRendersIntegersBare(t *testing.T) {
 		t.Errorf("formatFloat(0.9) = %q; want \"0.9\"", got)
 	}
 }
+
+// TestHistogramExemplars pins the exemplar lifecycle: only traced
+// observations land exemplars, the newest one per bucket wins, lookup by
+// bucket works, and the exposition carries the OpenMetrics exemplar
+// suffix on exactly the buckets that hold one.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lan_test_ex_seconds", "Latency.", []float64{1, 2})
+	h.Observe(0.5) // untraced: no exemplar
+	h.ObserveExemplar(1.5, "q-mid")
+	h.ObserveExemplar(1.7, "q-mid2") // same bucket: replaces q-mid
+	h.ObserveExemplar(10, "q-slow")
+
+	if id, v, ok := h.Exemplar(0); ok {
+		t.Errorf("untraced bucket holds exemplar %q=%v", id, v)
+	}
+	if id, v, ok := h.Exemplar(1); !ok || id != "q-mid2" || v != 1.7 {
+		t.Errorf("bucket 1 exemplar = %q,%v,%v; want q-mid2,1.7", id, v, ok)
+	}
+	if id, _, ok := h.Exemplar(2); !ok || id != "q-slow" {
+		t.Errorf("overflow bucket exemplar = %q,%v; want q-slow", id, ok)
+	}
+	if _, _, ok := h.Exemplar(-1); ok {
+		t.Error("out-of-range bucket returned an exemplar")
+	}
+	if _, _, ok := h.Exemplar(3); ok {
+		t.Error("out-of-range bucket returned an exemplar")
+	}
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lan_test_ex_seconds_bucket{le="2"} 3 # {trace_id="q-mid2"} 1.7`,
+		`lan_test_ex_seconds_bucket{le="+Inf"} 4 # {trace_id="q-slow"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing exemplar %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="1"} 1 #`) {
+		t.Errorf("untraced bucket rendered an exemplar:\n%s", out)
+	}
+	// Exemplars count as observations: sum and count include them.
+	if !strings.Contains(out, "lan_test_ex_seconds_count 4") {
+		t.Errorf("count missing exemplar observations:\n%s", out)
+	}
+}

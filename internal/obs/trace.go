@@ -9,11 +9,12 @@ import (
 
 // Trace is one query's routing trace: the entry node, every routing step
 // (current node, neighbors ranked vs. opened, the threshold in force),
-// the γ trajectory, and per-stage wall time and NDC. A Trace is attached
-// to a query via With and recovered by the routing pipeline via From;
-// every recording method is safe to call on a nil *Trace and does nothing
-// there, which is the disabled-tracing fast path (pinned at zero
-// allocations by TestTraceDisabledZeroAlloc).
+// the γ trajectory, and a hierarchical span tree attributing wall time
+// and NDC to pipeline stages and their children (store fetches, model
+// embeddings). A Trace is attached to a query via With and recovered by
+// the routing pipeline via From; every recording method is safe to call
+// on a nil *Trace and does nothing there, which is the disabled-tracing
+// fast path (pinned at zero allocations by TestTraceDisabledZeroAlloc).
 //
 // Recording methods are mutex-guarded so a sharded fan-out or a pooled
 // distance stage can share one trace without racing; a single-shard query
@@ -30,8 +31,9 @@ type Trace struct {
 	Steps []TraceStep `json:"steps,omitempty"`
 	// Gammas is the γ-threshold trajectory of np_route's supersteps.
 	Gammas []float64 `json:"gammas,omitempty"`
-	// Stages are the pipeline stages in execution order.
-	Stages []TraceStage `json:"stages,omitempty"`
+	// Spans is the span forest of the query's pipeline stages in execution
+	// order; child spans attribute time within their parent stage.
+	Spans []*Span `json:"spans,omitempty"`
 	// Shards holds the per-shard sub-traces of a sharded search, in shard
 	// order.
 	Shards []*Trace `json:"shards,omitempty"`
@@ -44,6 +46,12 @@ type Trace struct {
 	TotalUS int64 `json:"total_us"`
 
 	mu sync.Mutex
+	// start anchors span offsets on the monotonic clock; set by NewTrace,
+	// zero on hand-built or decoded traces (offsets then record as 0).
+	start time.Time
+	// open is the stack of spans started but not yet ended; leaf spans
+	// recorded while a stage is open attach to the innermost one.
+	open []*Span
 }
 
 // TraceStep records one exploration step: the node whose neighborhood was
@@ -61,12 +69,24 @@ type TraceStep struct {
 	NDC    int     `json:"ndc"`
 }
 
-// TraceStage is one pipeline stage's cost: wall time and the NDC charged
-// within it.
-type TraceStage struct {
+// Span is one node of the trace's span tree: a named slice of the query's
+// wall time with its start offset from the trace's creation (monotonic
+// clock), its duration, the NDC charged within it, an optional batch size
+// (store fetches, embedding batches) and nested children.
+type Span struct {
 	Name string `json:"name"`
-	US   int64  `json:"us"`
-	NDC  int    `json:"ndc"`
+	// StartUS is the span's start offset from the trace's creation, in
+	// microseconds on the monotonic clock.
+	StartUS int64 `json:"start_us"`
+	// US is the span's duration in microseconds.
+	US int64 `json:"us"`
+	// NDC is the number of distance computations charged to this span.
+	NDC int `json:"ndc,omitempty"`
+	// N is the span's batch size where one applies: graphs fetched in a
+	// store_fetch, neighbors encoded in an embed.
+	N int `json:"n,omitempty"`
+	// Children are the sub-spans recorded while this span was open.
+	Children []*Span `json:"children,omitempty"`
 }
 
 // TraceEvent is one write-path event: the operation kind ("insert",
@@ -78,8 +98,9 @@ type TraceEvent struct {
 	Epoch uint64 `json:"epoch"`
 }
 
-// NewTrace returns an empty trace for the given query id.
-func NewTrace(queryID string) *Trace { return &Trace{QueryID: queryID} }
+// NewTrace returns an empty trace for the given query id, anchored on the
+// monotonic clock so span offsets are meaningful.
+func NewTrace(queryID string) *Trace { return &Trace{QueryID: queryID, start: time.Now()} }
 
 // traceKey is the context key for the attached trace. An empty struct
 // converts to an interface without allocating, so the disabled-path
@@ -148,13 +169,75 @@ func (t *Trace) Gamma(g float64) {
 	t.mu.Unlock()
 }
 
-// Stage records one pipeline stage's wall time and NDC share. Nil-safe.
-func (t *Trace) Stage(name string, d time.Duration, ndc int) {
+// sinceStartLocked returns the current offset from the trace's creation
+// in microseconds (0 on hand-built traces without a clock anchor).
+// Callers hold t.mu.
+func (t *Trace) sinceStartLocked() int64 {
+	if t.start.IsZero() {
+		return 0
+	}
+	return time.Since(t.start).Microseconds()
+}
+
+// attachLocked appends s under the innermost open span, or at the root
+// when no stage is open. Callers hold t.mu.
+func (t *Trace) attachLocked(s *Span) {
+	if n := len(t.open); n > 0 {
+		parent := t.open[n-1]
+		parent.Children = append(parent.Children, s)
+		return
+	}
+	t.Spans = append(t.Spans, s)
+}
+
+// StartSpan opens a named span: subsequent spans (started or recorded)
+// nest under it until EndSpan. Nil-safe (returns nil, which EndSpan and
+// the other span methods accept).
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	s := &Span{Name: name, StartUS: t.sinceStartLocked()}
+	t.attachLocked(s)
+	t.open = append(t.open, s)
+	t.mu.Unlock()
+	return s
+}
+
+// EndSpan closes s, stamping its duration and the NDC charged within it.
+// Nil-safe on both the trace and the span. Spans left open above s (a
+// caller that forgot to end a child) are closed implicitly, unstamped.
+func (t *Trace) EndSpan(s *Span, ndc int) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	s.US = t.sinceStartLocked() - s.StartUS
+	s.NDC = ndc
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i] == s {
+			t.open = t.open[:i]
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// RecordSpan attaches one completed leaf span — a store fetch, an
+// embedding batch — under the currently open stage (or at the root when
+// none is open). start/d are the leaf's own wall-clock measurements; n is
+// its batch size (0 to omit). Nil-safe.
+func (t *Trace) RecordSpan(name string, start time.Time, d time.Duration, ndc, n int) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.Stages = append(t.Stages, TraceStage{Name: name, US: d.Microseconds(), NDC: ndc})
+	off := int64(0)
+	if !t.start.IsZero() && !start.IsZero() {
+		off = start.Sub(t.start).Microseconds()
+	}
+	t.attachLocked(&Span{Name: name, StartUS: off, US: d.Microseconds(), NDC: ndc, N: n})
 	t.mu.Unlock()
 }
 
@@ -229,6 +312,21 @@ func (r *TraceRing) Add(t *Trace) {
 		r.next = (r.next + 1) % cap(r.buf)
 	}
 	r.mu.Unlock()
+}
+
+// Get returns the stored trace with the given query id (the most recent
+// one when ids repeat), or nil when absent. Nil-safe — the exemplar
+// lookup path behind /debug/trace/<id>.
+func (r *TraceRing) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	for _, t := range r.Last() {
+		if t.QueryID == id {
+			return t
+		}
+	}
+	return nil
 }
 
 // Last returns the stored traces, most recent first. Nil-safe.

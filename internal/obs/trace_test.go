@@ -15,8 +15,12 @@ func TestTraceRecordingAndJSON(t *testing.T) {
 	tr.Step(17, 2.0, 6, 3, 4, 5)
 	tr.Gamma(4)
 	tr.Gamma(5)
-	tr.Stage("initial", 1500*time.Microsecond, 2)
-	tr.Stage("routing", 2500*time.Microsecond, 3)
+	init := tr.StartSpan("initial")
+	tr.RecordSpan("embed", time.Time{}, 300*time.Microsecond, 0, 1)
+	tr.EndSpan(init, 2)
+	routing := tr.StartSpan("routing")
+	tr.RecordSpan("store_fetch", time.Time{}, 120*time.Microsecond, 0, 6)
+	tr.EndSpan(routing, 3)
 	shard := NewTrace("shard-0")
 	tr.AddShard(shard)
 	tr.Finalize(5, 5, 4*time.Millisecond)
@@ -38,8 +42,19 @@ func TestTraceRecordingAndJSON(t *testing.T) {
 	if len(got.Gammas) != 2 || got.Gammas[1] != 5 {
 		t.Errorf("gammas lost: %v", got.Gammas)
 	}
-	if len(got.Stages) != 2 || got.Stages[0].Name != "initial" || got.Stages[0].US != 1500 {
-		t.Errorf("stages lost: %+v", got.Stages)
+	if len(got.Spans) != 2 || got.Spans[0].Name != "initial" || got.Spans[1].Name != "routing" {
+		t.Errorf("spans lost: %+v", got.Spans)
+	}
+	if len(got.Spans) == 2 {
+		if got.Spans[0].NDC != 2 || got.Spans[1].NDC != 3 {
+			t.Errorf("span NDC lost: %+v %+v", got.Spans[0], got.Spans[1])
+		}
+		if len(got.Spans[0].Children) != 1 || got.Spans[0].Children[0].Name != "embed" || got.Spans[0].Children[0].US != 300 {
+			t.Errorf("child span lost: %+v", got.Spans[0].Children)
+		}
+		if len(got.Spans[1].Children) != 1 || got.Spans[1].Children[0].N != 6 {
+			t.Errorf("store_fetch child lost: %+v", got.Spans[1].Children)
+		}
 	}
 	if len(got.Shards) != 1 || got.Shards[0].QueryID != "shard-0" {
 		t.Errorf("shards lost: %+v", got.Shards)
@@ -55,7 +70,10 @@ func TestTraceNilSafety(t *testing.T) {
 	tr.SetEntry(0)
 	tr.Step(0, 0, 0, 0, 0, 0)
 	tr.Gamma(0)
-	tr.Stage("x", 0, 0)
+	sp := tr.StartSpan("x")
+	tr.RecordSpan("y", time.Now(), 0, 0, 0)
+	tr.EndSpan(sp, 0)
+	tr.EndSpan(NewTrace("t2").StartSpan("z"), 0) // nil trace, live span
 	tr.AddShard(NewTrace("s"))
 	tr.Finalize(0, 0, 0)
 	data, err := tr.JSON()
@@ -112,13 +130,16 @@ func TestTraceRingEvictionAndOrder(t *testing.T) {
 // method on the resulting nil trace is free.
 func TestTraceDisabledZeroAlloc(t *testing.T) {
 	ctx := context.Background()
+	start := time.Now()
 	allocs := testing.AllocsPerRun(100, func() {
 		tr := From(ctx)
 		tr.SetConfig("lan", "lan", 10, 20)
 		tr.SetEntry(1)
 		tr.Step(1, 2.0, 3, 4, 5.0, 6)
 		tr.Gamma(1.0)
-		tr.Stage("routing", time.Millisecond, 1)
+		sp := tr.StartSpan("routing")
+		tr.RecordSpan("store_fetch", start, time.Millisecond, 0, 4)
+		tr.EndSpan(sp, 1)
 		tr.Finalize(1, 1, time.Millisecond)
 	})
 	if allocs != 0 {

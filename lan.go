@@ -204,6 +204,34 @@ func WithTrace(ctx context.Context, t *Trace) context.Context {
 	return obs.With(ctx, t)
 }
 
+// TraceSpan is one node of a trace's span tree: a named slice of the
+// query's wall time with nested children (store fetches, embedding
+// batches) — Trace.Spans.
+type TraceSpan = obs.Span
+
+// TraceExporter asynchronously writes sampled query traces to
+// size-rotated JSONL segment files; the submitting (query) path never
+// blocks. Wire one into lanserve.Config.Exporter or submit traces
+// directly; Close it to flush and stop the writer.
+type TraceExporter = obs.Exporter
+
+// TraceExportConfig configures NewTraceExporter; only Dir is required.
+type TraceExportConfig = obs.ExportConfig
+
+// NewTraceExporter opens (or resumes) a trace segment directory and
+// starts the async writer.
+func NewTraceExporter(cfg TraceExportConfig) (*TraceExporter, error) { return obs.NewExporter(cfg) }
+
+// TraceReplayStats summarize one replay of an exported trace directory.
+type TraceReplayStats = obs.ReplayStats
+
+// ReadTraceSegments replays every exported trace under dir in export
+// order, calling fn per trace (nil fn just counts). A truncated final
+// record — a crash mid-write — is skipped and counted, not an error.
+func ReadTraceSegments(dir string, fn func(*Trace) error) (TraceReplayStats, error) {
+	return obs.ReadSegments(dir, fn)
+}
+
 // Index is a built LAN search structure. Since the mutable subsystem
 // landed it is also a writable one: Insert and Delete apply streaming
 // updates while searches keep running. It is safe for concurrent use

@@ -59,9 +59,10 @@ func newMetrics() *Metrics {
 		inflight: r.Gauge("lanserve_inflight", "Searches currently executing."),
 		queued:   r.Gauge("lanserve_queued", "Searches admitted and waiting for a worker."),
 
-		// 100us..30s: spans in-memory tiny-index queries through heavy
-		// ensemble-GED queries on large shards.
-		latency: r.Histogram("lanserve_request_seconds", "Search request wall time in seconds.", obs.ExpBuckets(1e-4, 2.5, 14)),
+		// 10us..10s in doublings: sub-millisecond resolution for cache hits
+		// and tiny-index queries at the low end, heavy ensemble-GED queries
+		// on large shards at the high end.
+		latency: r.Histogram("lanserve_request_seconds", "Search request wall time in seconds.", obs.ExpBuckets(1e-5, 2, 21)),
 		ndc:     r.Histogram("lanserve_query_ndc", "GED computations (NDC) per executed query.", obs.ExpBuckets(1, 2, 14)),
 		steps:   r.Histogram("lanserve_query_routing_steps", "Routing steps (explored PG nodes) per executed query.", obs.ExpBuckets(1, 2, 12)),
 		pruning: r.Histogram("lanserve_query_pruning_rate", "Fraction of the database whose GED was never computed, per executed query.", obs.LinBuckets(0.1, 0.1, 9)),
@@ -128,12 +129,31 @@ func (m *Metrics) WorkEnd() { m.inflight.Dec() }
 // ObserveLatency records one completed request's wall time in seconds.
 func (m *Metrics) ObserveLatency(seconds float64) { m.latency.Observe(seconds) }
 
+// ObserveLatencyExemplar is ObserveLatency additionally retaining traceID
+// as the landing bucket's exemplar, so a latency bucket in /metrics links
+// straight to /debug/trace/<id>. Used for traced requests only; untraced
+// ones take the cheaper ObserveLatency.
+func (m *Metrics) ObserveLatencyExemplar(seconds float64, traceID string) {
+	m.latency.ObserveExemplar(seconds, traceID)
+}
+
 // ObserveQuery records the per-query cost telemetry of one executed
 // (uncached) search: NDC, routing steps, and the pruning rate
 // 1 - NDC/indexSize (the fraction of the database whose GED was never
 // computed — the quantity LAN's learned routing exists to maximize).
 func (m *Metrics) ObserveQuery(ndc, explored, indexSize int) {
 	m.ndc.Observe(float64(ndc))
+	m.steps.Observe(float64(explored))
+	if indexSize > 0 {
+		m.pruning.Observe(1 - float64(ndc)/float64(indexSize))
+	}
+}
+
+// ObserveQueryExemplar is ObserveQuery with the NDC observation retaining
+// traceID as its bucket's exemplar — an outlier NDC bucket then names a
+// concrete trace to replay.
+func (m *Metrics) ObserveQueryExemplar(ndc, explored, indexSize int, traceID string) {
+	m.ndc.ObserveExemplar(float64(ndc), traceID)
 	m.steps.Observe(float64(explored))
 	if indexSize > 0 {
 		m.pruning.Observe(1 - float64(ndc)/float64(indexSize))

@@ -26,11 +26,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	runtimepprof "runtime/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -109,11 +112,17 @@ type Config struct {
 	// the endpoint answers 404).
 	TraceRing int
 	// SlowQuery, when positive, logs the full routing trace of every
-	// executed search whose total time reaches the threshold (via Logf).
+	// executed search whose total time reaches the threshold (via Logger).
 	SlowQuery time.Duration
-	// Logf, when set, receives one line per failed request and recovered
-	// panic (e.g. log.Printf). Nil means silent.
-	Logf func(format string, args ...interface{})
+	// Logger, when set, receives structured records for failed requests,
+	// recovered panics and slow queries; query-scoped records always carry
+	// a query_id attribute (enforced by lan-lint). Nil means silent.
+	Logger *slog.Logger
+	// Exporter, when set, receives every executed search's trace for
+	// asynchronous JSONL export (the exporter applies its own sampling and
+	// never blocks the query path). The server does not close it; the
+	// process owning the exporter does, after the server has drained.
+	Exporter *obs.Exporter
 }
 
 func (c *Config) defaults() error {
@@ -159,15 +168,17 @@ func (c *Config) defaults() error {
 // Server serves k-ANN queries — and, with Config.Writer, streaming
 // writes — over one index.
 type Server struct {
-	cfg     Config
-	pool    *workerPool
-	cache   *resultCache
-	flights *flightGroup
-	metrics *Metrics
-	ring    *obs.TraceRing
-	queryID atomic.Uint64
-	handler http.Handler
-	ready   atomic.Bool
+	cfg      Config
+	pool     *workerPool
+	cache    *resultCache
+	flights  *flightGroup
+	metrics  *Metrics
+	ring     *obs.TraceRing
+	exporter *obs.Exporter
+	log      *slog.Logger
+	queryID  atomic.Uint64
+	handler  http.Handler
+	ready    atomic.Bool
 
 	// epoch resolves the index's current version for cache keying; nil
 	// when the index does not expose one (then it must be immutable).
@@ -182,6 +193,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	obs.RegisterProcess()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:        cfg,
 		pool:       newWorkerPool(cfg.Workers, cfg.QueueDepth),
@@ -189,6 +204,8 @@ func New(cfg Config) (*Server, error) {
 		flights:    newFlightGroup(),
 		metrics:    newMetrics(),
 		ring:       obs.NewTraceRing(cfg.TraceRing),
+		exporter:   cfg.Exporter,
+		log:        logger,
 		writeSlots: make(chan struct{}, cfg.WriteQueueDepth),
 	}
 	if ep, ok := cfg.Index.(interface{ Epoch() uint64 }); ok {
@@ -202,6 +219,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace/last", s.handleTraceLast)
+	mux.HandleFunc("/debug/trace/", s.handleTraceByID)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -253,18 +271,14 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 			if v := recover(); v != nil {
 				s.metrics.Panic()
 				s.metrics.Error(http.StatusInternalServerError)
-				s.logf("panic serving %s: %v", r.URL.Path, v)
+				// A panic can escape any endpoint, before a query id exists.
+				//lint:allow slogqid panic recovery covers non-query endpoints
+				s.log.Error("panic recovered", "path", r.URL.Path, "panic", fmt.Sprint(v))
 				writeJSONError(w, http.StatusInternalServerError, "internal error")
 			}
 		}()
 		next.ServeHTTP(w, r)
 	})
-}
-
-func (s *Server) logf(format string, args ...interface{}) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf("lanserve: "+format, args...)
-	}
 }
 
 // SearchRequest is the JSON body of POST /search.
@@ -322,8 +336,11 @@ type SearchStats struct {
 }
 
 // errorResponse is the JSON body of every non-200 /search outcome.
+// QueryID is set on search failures so a refused or timed-out request can
+// be correlated with server logs and exported traces.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	QueryID string `json:"query_id,omitempty"`
 }
 
 // searchParams are the validated, clamped search knobs (also the cache-key
@@ -390,11 +407,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	s.metrics.Request()
+	// The query id exists from the first byte of handling, so every error
+	// body and log line — 400s included — can name the request.
+	qid := "q" + strconv.FormatUint(s.queryID.Add(1), 10)
 	fail := func(code int, msg string) {
 		s.metrics.Error(code)
 		s.metrics.ObserveLatency(time.Since(start).Seconds())
-		s.logf("search: %d %s", code, msg)
-		writeJSONError(w, code, msg)
+		s.log.Warn("search failed", "query_id", qid, "code", code, "err", msg)
+		writeJSON(w, code, errorResponse{Error: msg, QueryID: qid})
 	}
 
 	req, params, err := s.parseRequest(r)
@@ -488,12 +508,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Per-query trace, recorded into the /debug/trace/last ring and the
-	// slow-query log. Tracing never changes results or NDC (the recorder
-	// only observes), so cached and traced responses stay identical.
-	qid := "q" + strconv.FormatUint(s.queryID.Add(1), 10)
+	// Per-query trace, recorded into the /debug/trace/last ring, the
+	// slow-query log and the async exporter. Tracing never changes results
+	// or NDC (the recorder only observes), so cached and traced responses
+	// stay identical.
 	var qt *obs.Trace
-	if s.ring != nil || s.cfg.SlowQuery > 0 {
+	if s.ring != nil || s.cfg.SlowQuery > 0 || s.exporter != nil {
 		qt = obs.NewTrace(qid)
 	}
 
@@ -516,9 +536,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WorkEnd()
 	release()
 	s.ring.Add(qt)
+	if s.exporter != nil {
+		s.exporter.Submit(qt)
+	}
 	if s.cfg.SlowQuery > 0 && stats.Total >= s.cfg.SlowQuery {
 		if data, jerr := qt.JSON(); jerr == nil {
-			s.logf("slow query (%v >= %v): %s", stats.Total, s.cfg.SlowQuery, data)
+			s.log.Warn("slow query",
+				"query_id", qid,
+				"total_us", stats.Total.Microseconds(),
+				"threshold_us", s.cfg.SlowQuery.Microseconds(),
+				"trace", json.RawMessage(data))
 		}
 	}
 	if err != nil {
@@ -564,8 +591,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.cache.put(key, resp)
 	}
 	leaderResp = resp
-	s.metrics.ObserveQuery(stats.NDC, stats.Explored, indexSize)
-	s.metrics.ObserveLatency(time.Since(start).Seconds())
+	if qt != nil {
+		// Traced queries leave their id as the bucket exemplar, linking
+		// /metrics outliers to /debug/trace/<id>.
+		s.metrics.ObserveQueryExemplar(stats.NDC, stats.Explored, indexSize, qid)
+		s.metrics.ObserveLatencyExemplar(time.Since(start).Seconds(), qid)
+	} else {
+		s.metrics.ObserveQuery(stats.NDC, stats.Explored, indexSize)
+		s.metrics.ObserveLatency(time.Since(start).Seconds())
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -654,7 +688,8 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	id, err := s.cfg.Writer.Insert(req.Graph)
 	if err != nil {
 		s.metrics.Error(http.StatusBadRequest)
-		s.logf("insert: %v", err)
+		//lint:allow slogqid write path has no query id
+		s.log.Warn("insert failed", "err", err.Error())
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -683,7 +718,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		// "no graph with id" and double deletes are caller mistakes, not
 		// server faults.
 		s.metrics.Error(http.StatusBadRequest)
-		s.logf("delete: %v", err)
+		//lint:allow slogqid write path has no query id
+		s.log.Warn("delete failed", "err", err.Error())
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -708,14 +744,16 @@ func (s *Server) recordWrite(op string, id int, epoch uint64, took time.Duration
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if _, err := s.metrics.WriteTo(w); err != nil {
-		s.logf("metrics: %v", err)
+		//lint:allow slogqid metrics exposition is not query-scoped
+		s.log.Warn("metrics write failed", "err", err.Error())
 		return
 	}
 	// Process-wide families (lan_query_*, lan_process_*, lan_build_info)
 	// follow the server's own; names are disjoint, so concatenation is a
 	// valid exposition.
 	if _, err := obs.Default().WriteTo(w); err != nil {
-		s.logf("metrics: %v", err)
+		//lint:allow slogqid metrics exposition is not query-scoped
+		s.log.Warn("metrics write failed", "err", err.Error())
 	}
 }
 
@@ -737,6 +775,40 @@ func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
 		out = append(out, data)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTraceByID serves one trace by query id: first from the in-memory
+// ring, then — when an exporter is configured — from the exported JSONL
+// segments on disk, so exemplar trace ids in /metrics stay resolvable
+// after the ring has moved on. 404 when neither holds the id.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSONError(w, http.StatusNotFound, "not found")
+		return
+	}
+	t := s.ring.Get(id)
+	if t == nil && s.exporter != nil {
+		exported, err := obs.LookupExported(s.exporter.Dir(), id)
+		if err != nil {
+			//lint:allow slogqid trace lookup failures name the target id, not a live query
+			s.log.Warn("trace lookup failed", "trace_id", id, "err", err.Error())
+			writeJSONError(w, http.StatusInternalServerError, "trace lookup failed")
+			return
+		}
+		t = exported
+	}
+	if t == nil {
+		writeJSONError(w, http.StatusNotFound, "no trace with id "+id)
+		return
+	}
+	data, err := t.JSON()
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

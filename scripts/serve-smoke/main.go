@@ -78,7 +78,9 @@ func run() error {
 		return fmt.Errorf("go build ./cmd/lan-serve: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-db", dbPath, "-index", idxPath, "-addr", "127.0.0.1:0", "-shutdown-grace", "5s")
+	traceDir := filepath.Join(dir, "traces")
+	cmd := exec.Command(bin, "-db", dbPath, "-index", idxPath, "-addr", "127.0.0.1:0",
+		"-shutdown-grace", "5s", "-trace-dir", traceDir)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return err
@@ -136,6 +138,66 @@ func run() error {
 		return fmt.Errorf("server did not exit within 5s of SIGTERM")
 	}
 	<-logDone
+
+	// Shutdown flushed the exporter; the segments on disk must replay
+	// through lan-trace into a non-empty offline summary, closing the
+	// trace pipeline end to end.
+	if err := traceChecks(dir, traceDir); err != nil {
+		return err
+	}
+	// CI persists the exported segments (SERVE_SMOKE_ARTIFACTS names a
+	// directory) so a red run's traces survive the temp-dir cleanup.
+	if dst := os.Getenv("SERVE_SMOKE_ARTIFACTS"); dst != "" {
+		if err := copyDir(traceDir, filepath.Join(dst, "traces")); err != nil {
+			return fmt.Errorf("persisting trace artifacts: %w", err)
+		}
+	}
+	return nil
+}
+
+// traceChecks builds lan-trace and replays the exported segments: the one
+// executed search (the cache hit never reached the engine) must come back
+// with its stage spans.
+func traceChecks(dir, traceDir string) error {
+	bin := filepath.Join(dir, "lan-trace")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/lan-trace").CombinedOutput(); err != nil {
+		return fmt.Errorf("go build ./cmd/lan-trace: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-dir", traceDir).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("lan-trace -dir %s: %v\n%s", traceDir, err, out)
+	}
+	fmt.Fprintf(os.Stderr, "  [lan-trace] %s\n", strings.ReplaceAll(strings.TrimSpace(string(out)), "\n", "\n  [lan-trace] "))
+	for _, want := range []string{"traces: 1", "stages:", "initial", "routing"} {
+		if !strings.Contains(string(out), want) {
+			return fmt.Errorf("lan-trace summary missing %q:\n%s", want, out)
+		}
+	}
+	return nil
+}
+
+// copyDir copies a flat artifact directory (the exporter writes no
+// subdirectories).
+func copyDir(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
